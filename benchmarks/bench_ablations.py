@@ -1,0 +1,40 @@
+"""Ablation benches: normalisation mode, subspace dimension, clustering."""
+
+from _util import emit, run_once
+
+from repro.experiments import ablations as exp
+
+
+def test_ablation_normalization(benchmark):
+    result = run_once(benchmark, exp.run_normalization)
+    emit("ablation_normalization", "\n".join(
+        f"{mode}: detections={result.detections[mode]} "
+        f"variance@10={result.variance_at_10[mode]:.3f}"
+        for mode in result.detections
+    ))
+    assert set(result.detections) == {"variance", "raw"}
+    # Both normalisations find a comparable anomaly population.
+    lo, hi = sorted(result.detections.values())
+    assert hi <= 2 * max(lo, 1)
+
+
+def test_ablation_subspace_dim(benchmark):
+    result = run_once(benchmark, exp.run_subspace_dim)
+    emit("ablation_subspace_dim", "\n".join(
+        f"m={m}: detections={n} variance={result.variance_by_m[m]:.3f}"
+        for m, n in result.detections_by_m.items()
+    ))
+    # Detection counts are stable in the paper's m~10 regime.
+    d8, d10, d14 = (result.detections_by_m[m] for m in (8, 10, 14))
+    assert abs(d8 - d10) <= 0.3 * max(d10, 1)
+    assert abs(d14 - d10) <= 0.3 * max(d10, 1)
+
+
+def test_ablation_clustering(benchmark):
+    result = run_once(benchmark, exp.run_clustering)
+    emit("ablation_clustering", "\n".join(
+        f"{a} vs {b}: rand={rate:.3f}" for (a, b), rate in result.agreements.items()
+    ))
+    # Paper: results insensitive to the clustering algorithm.
+    assert all(rate > 0.6 for rate in result.agreements.values())
+    assert sum(r > 0.9 for r in result.agreements.values()) >= 3

@@ -1,0 +1,13 @@
+"""Regenerates the Section-5 anonymisation experiment (132 vs 128)."""
+
+from _util import emit, run_once
+
+from repro.experiments import anonymization_check as exp
+
+
+def test_anonymization_check(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("anonymization", exp.format_report(result))
+    assert result.detections_raw > 0
+    # Anonymisation loses only a small fraction of detections.
+    assert result.detections_anonymized >= 0.75 * result.detections_raw

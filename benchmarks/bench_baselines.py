@@ -1,0 +1,19 @@
+"""Extension bench: subspace/entropy vs classical volume baselines."""
+
+from _util import emit, run_once
+
+from repro.experiments import baseline_comparison as exp
+
+
+def test_baseline_comparison(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("baseline_comparison", exp.format_report(result))
+    rows = {r.name: r for r in result.rows}
+    combined = rows["volume+entropy"]
+    # The paper's pipeline dominates: best F1 of all detectors.
+    assert combined.counts.f1 == max(r.counts.f1 for r in result.rows)
+    # Naive per-flow baselines pay with precision.
+    for name in ("ewma(volume)", "holt-winters(volume)", "wavelet(volume)"):
+        assert rows[name].counts.precision < combined.counts.precision
+    # Entropy carries the low-volume anomaly recall over the volume subspace.
+    assert combined.low_volume_recall > rows["subspace(volume)"].low_volume_recall + 0.3

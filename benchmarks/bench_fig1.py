@@ -1,0 +1,13 @@
+"""Regenerates paper Figure 1: port-scan feature-distribution change."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig1_histograms as exp
+
+
+def test_fig1_histograms(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig1", exp.format_report(result))
+    # Shape assertions: ports disperse, addresses concentrate.
+    assert len(result.dst_port_anomalous) > 5 * len(result.dst_port_normal)
+    assert result.dst_ip_anomalous.max() > 2 * result.dst_ip_normal.max()

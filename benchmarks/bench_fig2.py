@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 2: volume vs entropy timeseries around a scan."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig2_timeseries as exp
+
+
+def test_fig2_timeseries(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig2", exp.format_report(result))
+    z = result.z_scores
+    # Invisible in raw volume, sharp in the entropy series.
+    assert abs(z["bytes"]) < 4
+    assert z["H(dstPort)"] > 4
+    assert z["H(dstIP)"] < -3

@@ -1,0 +1,16 @@
+"""Regenerates paper Figure 4: disjointness of entropy/volume detections."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig4_volume_vs_entropy as exp
+
+
+def test_fig4_volume_vs_entropy(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig4", exp.format_report(result))
+    for quad in (result.quadrants_bytes, result.quadrants_packets):
+        detected = quad["volume_only"] + quad["entropy_only"] + quad["both"]
+        assert detected > 0
+        # Largely disjoint: exclusive detections outnumber the overlap.
+        assert quad["entropy_only"] + quad["volume_only"] >= quad["both"] * 0.5
+    assert result.quadrants_bytes["entropy_only"] > 0

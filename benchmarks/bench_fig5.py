@@ -1,0 +1,23 @@
+"""Regenerates paper Figure 5: detection rate vs thinning (3 known traces)."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig5_detection_rate as exp
+
+
+def test_fig5_detection_rate(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig5", exp.format_report(result))
+
+    def rate(trace, thin, alpha, which):
+        return dict(result.curve(trace, alpha, which))[thin]
+
+    # Full-intensity attacks are always caught.
+    for trace in ("dos", "ddos", "worm"):
+        assert rate(trace, 1, 0.999, "combined") == 1.0
+    # The worm is essentially invisible to volume metrics...
+    assert rate("worm", 1, 0.995, "volume") < 0.2
+    # ...but entropy sustains detection one decade of thinning down.
+    assert rate("worm", 10, 0.995, "combined") > 0.4
+    # Entropy extends DDOS detection beyond where volume collapses.
+    assert rate("ddos", 1000, 0.995, "combined") > rate("ddos", 1000, 0.995, "volume")

@@ -1,0 +1,12 @@
+"""Regenerates paper Figure 7: clustering known injected anomalies."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig7_known_clusters as exp
+
+
+def test_fig7_known_clusters(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig7", exp.format_report(result))
+    # Paper: 4 misassignments out of 296.  Allow up to ~5%.
+    assert result.n_misassigned <= 0.05 * result.n_points

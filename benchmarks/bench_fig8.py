@@ -1,0 +1,13 @@
+"""Regenerates paper Figure 8: Abilene anomalies in entropy space."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig8_abilene_space as exp
+
+
+def test_fig8_abilene_space(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig8", exp.format_report(result))
+    assert len(result.points) > 50
+    tight = sum(1 for v in result.tight_axes_per_cluster.values() if v >= 2)
+    assert tight >= 0.7 * len(result.tight_axes_per_cluster)

@@ -1,0 +1,12 @@
+"""Regenerates paper Figure 9: Geant anomalies in entropy space (10 clusters)."""
+
+from _util import emit, run_once
+
+from repro.experiments import fig9_geant_space as exp
+
+
+def test_fig9_geant_space(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("fig9", exp.format_report(result))
+    localized = sum(1 for kind in result.kinds.values() if kind != "diffuse")
+    assert localized >= 0.5 * len(result.kinds)

@@ -1,0 +1,15 @@
+"""Extension bench: entropy vs alternative dispersion metrics."""
+
+from _util import emit, run_once
+
+from repro.experiments import ablation_metrics as exp
+
+
+def test_metric_ablation(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("ablation_metrics", exp.format_report(result))
+    by_metric = {r.metric: r for r in result.rows}
+    best_f1 = max(r.counts.f1 for r in result.rows)
+    # The paper's claim: entropy is in the top band of dispersion metrics.
+    assert by_metric["entropy"].counts.f1 >= 0.75 * best_f1
+    assert by_metric["entropy"].counts.recall > 0.2

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 2: detection counts per network and metric."""
+
+from _util import emit, run_once
+
+from repro.experiments import table2_detections as exp
+
+
+def test_table2_detections(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table2", exp.format_report(result))
+    for counts in (result.abilene, result.geant):
+        assert counts["total"] > 0
+        # Entropy adds a substantial set beyond volume.
+        assert counts["entropy_only"] > 0.2 * counts["total"]

@@ -1,0 +1,17 @@
+"""Regenerates paper Table 3: anomaly types found in volume vs entropy."""
+
+from _util import emit, run_once
+
+from repro.experiments import table3_breakdown as exp
+
+
+def test_table3_breakdown(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table3", exp.format_report(result))
+    rows = {r.label: r for r in result.rows}
+    # The paper's headline: scans and point-to-multipoint are detected
+    # only via entropy.
+    for label in ("port_scan", "network_scan", "worm", "point_multipoint"):
+        assert rows[label].found_in_volume <= 1
+        assert rows[label].additional_in_entropy > 0
+    assert rows["alpha"].found_in_volume > 0

@@ -1,0 +1,14 @@
+"""Regenerates paper Table 4: the known injected anomaly traces."""
+
+from _util import emit, run_once
+
+from repro.experiments import table4_traces as exp
+
+
+def test_table4_traces(benchmark):
+    rows = run_once(benchmark, exp.run)
+    emit("table4", exp.format_report(rows))
+    assert exp.verify_intensities(rows)
+    by_name = {r.name: r for r in rows}
+    assert by_name["ddos"].n_sources > 100
+    assert by_name["worm"].n_destinations > 1000

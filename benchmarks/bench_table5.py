@@ -1,0 +1,17 @@
+"""Regenerates paper Table 5: injected intensity vs thinning factor."""
+
+import pytest
+
+from _util import emit, run_once
+
+from repro.experiments import table5_thinning as exp
+
+
+def test_table5_thinning(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table5", exp.format_report(result))
+    cells = {(c.trace, c.thinning): c for c in result.cells}
+    # Paper values: DOS at thinning 1000 is ~14% of OD traffic.
+    assert cells[("dos", 1000)].pps == pytest.approx(347.0, rel=0.05)
+    assert 8 < cells[("dos", 1000)].percent_of_od < 25
+    assert cells[("worm", 1)].percent_of_od < 10

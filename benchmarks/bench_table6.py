@@ -1,0 +1,17 @@
+"""Regenerates paper Table 6: label distributions in entropy space."""
+
+from _util import emit, run_once
+
+from repro.experiments import table6_label_space as exp
+
+
+def test_table6_label_space(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table6", exp.format_report(result))
+    rows = {r.label: r for r in result.rows}
+    # Qualitative locations from the paper's Table 6.
+    assert rows["alpha"].mean[0] < 0 and rows["alpha"].mean[2] < 0
+    assert rows["port_scan"].mean[3] > 0.3      # dstPort strongly dispersed
+    assert rows["port_scan"].mean[2] < 0        # dstIP concentrated
+    assert rows["network_scan"].mean[1] > 0.3   # srcPort strongly dispersed
+    assert rows["point_multipoint"].mean[2] > 0.3

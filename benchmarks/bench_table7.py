@@ -1,0 +1,18 @@
+"""Regenerates paper Table 7: the 10 Abilene anomaly clusters."""
+
+from _util import emit, run_once
+
+from repro.experiments import table7_abilene_clusters as exp
+
+
+def test_table7_abilene_clusters(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table7", exp.format_report(result))
+    assert len(result.clusters) >= 8
+    # Clusters are internally consistent: plurality label majority in most.
+    consistent = sum(
+        1 for c in result.clusters if c.plurality_count >= max(1, c.size // 2)
+    )
+    assert consistent >= 0.7 * len(result.clusters)
+    # Distinct meanings: several distinct plurality labels.
+    assert len({c.plurality_label for c in result.clusters}) >= 5

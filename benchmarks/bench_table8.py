@@ -1,0 +1,14 @@
+"""Regenerates paper Table 8: the 10 Geant clusters and Abilene matches."""
+
+from _util import emit, run_once
+
+from repro.experiments import table8_geant_clusters as exp
+
+
+def test_table8_geant_clusters(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("table8", exp.format_report(result))
+    assert len(result.rows) >= 8
+    matched = sum(1 for r in result.rows if r.abilene_match > 0)
+    # Paper: most Geant clusters correspond to an Abilene region.
+    assert matched >= 0.6 * len(result.rows)

@@ -1,0 +1,70 @@
+"""Mining anomaly structure: unsupervised classification of the full zoo.
+
+The paper's second contribution: detected anomalies, embedded as
+unit-norm residual-entropy 4-vectors, fall into distinct and *meaningful*
+clusters — without any labels.  This example:
+
+1. diagnoses a labeled Abilene-like dataset,
+2. clusters the entropy detections with both k-means and hierarchical
+   agglomerative clustering,
+3. prints each cluster's +/0/- signature next to its (hidden-at-
+   clustering-time) ground-truth composition, and
+4. auto-annotates clusters with the Table-6 template rule and shows the
+   online classifier assigning a brand-new anomaly type to a fresh
+   cluster.
+
+Run:
+    python examples/classify_anomaly_zoo.py
+"""
+
+import numpy as np
+
+from repro import AnomalyDiagnosis, abilene_dataset
+from repro.core.classify import signature_label, signature_string
+from repro.core.clustering import agreement_rate, kmeans
+from repro.core.online import OnlineClassifier
+
+
+def main() -> None:
+    print("Generating two weeks of labeled Abilene-like traffic...")
+    data = abilene_dataset(weeks=2.0, seed=5)
+
+    diagnosis = AnomalyDiagnosis(alpha=0.999, n_clusters=10)
+    report = diagnosis.diagnose(data.cube, labels_by_bin=data.labels_by_bin)
+    anomalies = [a for a in report.anomalies if a.detected_by_entropy]
+    points = np.vstack([a.unit_vector for a in anomalies])
+    print(f"  {len(anomalies)} entropy-detected anomalies to classify\n")
+
+    print("Hierarchical clusters (signature | auto-label | ground truth):")
+    for summary in report.clusters:
+        auto = signature_label(summary.mean)
+        print(
+            f"  n={summary.size:>4}  {signature_string(summary.signature)}  "
+            f"auto={auto:<17} truth={summary.plurality_label} "
+            f"({summary.plurality_count}/{summary.size})"
+        )
+
+    km = kmeans(points, k=min(10, len(points)), rng=0)
+    agreement = agreement_rate(report.clustering.labels, km.labels)
+    print(
+        f"\nAlgorithm robustness: k-means vs hierarchical Rand agreement "
+        f"= {agreement:.3f} (paper: results insensitive to the algorithm)"
+    )
+
+    # Online extension: seed a nearest-centroid classifier with the
+    # offline centroids, then feed it something it has never seen — a
+    # pure srcPort-dispersal direction (an "automated tool" anomaly).
+    clf = OnlineClassifier(report.clustering.centers, spawn_distance=0.6)
+    before = clf.n_clusters
+    novel = np.array([0.05, 0.98, 0.05, -0.15])
+    novel /= np.linalg.norm(novel)
+    assigned = clf.assign(novel)
+    print(
+        f"\nOnline classifier: novel anomaly direction assigned to cluster "
+        f"{assigned} ({'a NEW cluster' if clf.n_clusters > before else 'an existing cluster'})"
+        f" — new anomaly types surface instead of polluting old clusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Network-wide DDOS: an attack invisible in every single flow.
+
+Reproduces the paper's Figure-6 scenario as a story: a distributed
+denial-of-service attack whose zombies enter the network at many
+different PoPs, all converging on one victim.  Per OD flow, the attack
+traffic is a rounding error; network-wide, the multiway subspace method
+sees the correlated displacement across the participating flows and
+fires — and identification names the flows involved.
+
+Run:
+    python examples/ddos_network_wide.py
+"""
+
+import numpy as np
+
+from repro import TimeBins, TrafficGenerator, abilene
+from repro.anomalies import InjectionScorer, ddos
+from repro.anomalies.injector import inject_trace
+from repro.core.multiway import MultiwaySubspaceDetector
+
+
+def main() -> None:
+    topology = abilene()
+    print("Generating three days of clean Abilene-like traffic...")
+    generator = TrafficGenerator(topology, TimeBins.for_days(3), seed=23)
+    cube = generator.generate()
+
+    # The attack: the paper's 2.75e4 pps DDOS, thinned 1000x and split
+    # across 8 origin PoPs -> ~3.4 pps per OD flow.
+    victim_pop = topology.pop_by_code("NYCM")
+    origins = ["STTL", "SNVA", "LOSA", "DNVR", "KSCY", "HSTN", "ATLA", "CHIN"]
+    attack = ddos(np.random.default_rng(0), pps=2.75e4).thin(1000)
+    parts = attack.split_by_sources(len(origins))
+    per_flow_pps = attack.pps / len(origins)
+    print(
+        f"DDOS on {victim_pop.name}: {attack.pps:.1f} pps total, split over "
+        f"{len(origins)} origins -> {per_flow_pps:.2f} pps per OD flow "
+        f"({100 * per_flow_pps / cube.mean_od_pps():.3f}% of the average flow)"
+    )
+
+    scorer = InjectionScorer(cube, generator)
+    target_bin = 432
+    injections = [
+        (topology.od_index(origin, victim_pop.code), part)
+        for origin, part in zip(origins, parts)
+    ]
+
+    print("\nPer-flow view (each OD flow scored alone):")
+    any_single = False
+    for (od, part) in injections:
+        out = scorer.score(target_bin, [(od, part)], alpha=0.995)
+        any_single = any_single or out.detected_any
+    print(f"  any single OD flow detected alone?  {any_single}")
+
+    combined = scorer.score(target_bin, injections, alpha=0.995)
+    print("\nNetwork-wide view (all flows scored together):")
+    print(
+        f"  entropy detection: {combined.detected_entropy}   "
+        f"volume detection: {combined.detected_volume}"
+    )
+
+    # Full pipeline with identification on an actually-injected cube.
+    print("\nRunning detection + identification on the injected cube...")
+    dirty = cube.copy()
+    for od, part in injections:
+        inject_trace(dirty, generator, od, target_bin, part)
+    detector = MultiwaySubspaceDetector(alpha=0.995, max_identified_flows=10)
+    detector.fit(cube.entropy)
+    detections = [d for d in detector.detect(dirty.entropy) if d.bin == target_bin]
+    if not detections:
+        print("  (not detected at this intensity — try a lower thinning)")
+        return
+    hit = detections[0]
+    print(f"  bin {hit.bin} flagged, SPE {hit.spe:.3g}; identified OD flows:")
+    injected = {od for od, _ in injections}
+    for flow in hit.flows:
+        marker = "correct" if flow.od in injected else "extra"
+        print(f"    {topology.od_name(flow.od):<16} [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

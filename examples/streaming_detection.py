@@ -1,0 +1,84 @@
+"""Streaming detection: the paper's "online extensions" future work.
+
+The paper closes noting that online extensions of the methods are under
+study (Section 8).  This example runs the library's streaming detector:
+a multiway subspace frozen on a warm-up window, scoring each new
+5-minute bin as it arrives in O(p * m), with periodic refits from a
+sliding buffer that excludes detected bins (so anomalies never poison
+the normal model).
+
+A port scan and a DDOS are dropped into the "live" stream; the script
+reports detection latency (bins until flagged) and the identified OD
+flow for each.
+
+Run:
+    python examples/streaming_detection.py
+"""
+
+import numpy as np
+
+from repro import TimeBins, TrafficGenerator, abilene
+from repro.anomalies import ddos, port_scan
+from repro.anomalies.injector import injected_bin_state
+from repro.core.online import OnlineMultiwayDetector
+
+
+def main() -> None:
+    topology = abilene()
+    print("Generating four days of Abilene-like traffic (3 warm-up + 1 live)...")
+    generator = TrafficGenerator(topology, TimeBins.for_days(4), seed=31)
+    cube = generator.generate()
+    warmup_bins = 3 * 288
+
+    detector = OnlineMultiwayDetector(
+        window=warmup_bins, refit_every=144, n_components=10, alpha=0.999
+    )
+    detector.warm_up(cube.entropy[:warmup_bins])
+    print(f"  warm-up complete ({warmup_bins} bins)\n")
+
+    # Live day with two planted incidents.
+    incidents = {
+        warmup_bins + 60: ("port scan", port_scan(np.random.default_rng(1), pps=200.0), 14),
+        warmup_bins + 200: ("ddos", ddos(np.random.default_rng(2), pps=2.75e4), 77),
+    }
+
+    detections = []
+    for b in range(warmup_bins, cube.n_bins):
+        observation = cube.entropy[b].copy()
+        if b in incidents:
+            name, trace, od = incidents[b]
+            stream = generator.od_stream(od)
+            hists = tuple(h[b] for h in stream.histograms)
+            entropy, _, _ = injected_bin_state(
+                hists, cube.packets[b, od], cube.bytes[b, od], trace
+            )
+            observation[od] = entropy
+        hit = detector.observe(observation)
+        if hit is not None:
+            detections.append((b, hit))
+
+    print(f"Live day processed: {len(detections)} detection(s)")
+    for b, hit in detections:
+        planted = incidents.get(b)
+        flows = ", ".join(topology.od_name(f.od) for f in hit.flows) or "unidentified"
+        if planted:
+            name, _, od = planted
+            correct = any(f.od == od for f in hit.flows)
+            print(
+                f"  bin {b}: planted {name} -> flagged same bin (latency 0), "
+                f"identified [{flows}] "
+                f"({'correct flow' if correct else 'wrong flow'})"
+            )
+        else:
+            print(f"  bin {b}: unplanted detection (transient), flows [{flows}]")
+
+    missed = [name for b, (name, _, _) in incidents.items()
+              if not any(db == b for db, _ in detections)]
+    if missed:
+        print(f"  missed: {missed}")
+    else:
+        print("  both planted incidents caught at zero latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Worm outbreak: catching what volume metrics cannot see.
+
+Reproduces the paper's most striking sensitivity result interactively:
+a worm scanning for vulnerable hosts (the paper's 141 pps Utah trace —
+port 1433, the MS-SQL "Snake"/Slammer family) is injected into Abilene
+OD flows at decreasing intensities.  Volume detectors never fire — the
+worm adds ~0.007% extra bytes — while the multiway entropy detector
+keeps catching it an order of magnitude below its natural rate.
+
+The script also shows *why*: the worm's signature in entropy space is
+dispersal of destination addresses and source ports against a
+concentrated destination port.
+
+Run:
+    python examples/worm_outbreak.py
+"""
+
+import numpy as np
+
+from repro import TimeBins, TrafficGenerator, abilene
+from repro.anomalies import InjectionScorer, worm_scan
+from repro.anomalies.injector import inject_trace
+from repro.core.classify import signature_label
+from repro.flows.features import DST_IP, FEATURES, SRC_PORT
+from repro.viz import timeseries_panel
+
+
+def main() -> None:
+    print("Generating three days of clean Abilene-like traffic...")
+    topology = abilene()
+    generator = TrafficGenerator(topology, TimeBins.for_days(3), seed=13)
+    cube = generator.generate()
+    scorer = InjectionScorer(cube, generator, alphas=(0.999, 0.995))
+
+    trace = worm_scan(np.random.default_rng(0), pps=141.0)
+    print(
+        f"Worm trace: {trace.pps:.0f} pps, {trace.packets} packets/bin, "
+        f"{trace.contribution('dst_ip').n_values} scanned hosts, "
+        f"single service port\n"
+    )
+
+    bin_index = 500
+    print(f"{'thinning':>9} {'pps':>8} {'% of OD':>8} {'volume':>7} {'entropy':>8} rate(all ODs)")
+    for factor in (1, 5, 10, 50, 100):
+        thinned = trace.thin(factor)
+        if thinned.packets == 0:
+            break
+        detected = 0
+        sample = scorer.score(bin_index, [(0, thinned)], alpha=0.995)
+        for od in range(cube.n_od_flows):
+            out = scorer.score(bin_index, [(od, thinned)], alpha=0.995)
+            detected += out.detected_any
+        share = 100 * thinned.pps / (thinned.pps + cube.mean_od_pps())
+        print(
+            f"{factor:>9} {thinned.pps:>8.2f} {share:>7.3f}% "
+            f"{str(sample.detected_volume):>7} {str(sample.detected_entropy):>8} "
+            f"{detected / cube.n_od_flows:>6.0%}"
+        )
+
+    print("\nWhere does the worm live in entropy space?")
+    vec = scorer.entropy_vector(bin_index, 8, trace)
+    unit = vec / np.linalg.norm(vec)
+    for name, value in zip(FEATURES, unit):
+        direction = "dispersed" if value > 0.15 else ("concentrated" if value < -0.15 else "typical")
+        print(f"  {name:<9} {value:+.2f}  ({direction})")
+    print(f"  template match: {signature_label(unit)!r}")
+    print(
+        "\nThe signature — dispersed dstIP + srcPort, concentrated dstPort —\n"
+        "is exactly the paper's worm/network-scan cluster."
+    )
+
+    # Figure-2 style panel: the worm in volume vs entropy timeseries.
+    od = 8
+    dirty = cube.copy()
+    inject_trace(dirty, generator, od, bin_index, trace, sampled=False)
+    lo, hi = bin_index - 72, bin_index + 72
+    print("\nThe outbreak bin (bracketed) seen through each lens:")
+    print(
+        timeseries_panel(
+            {
+                "packets": dirty.packets[lo:hi, od],
+                "H(srcPort)": dirty.entropy[lo:hi, od, SRC_PORT],
+                "H(dstIP)": dirty.entropy[lo:hi, od, DST_IP],
+            },
+            width=72,
+            mark=bin_index - lo,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on offline hosts without the
+``wheel`` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "Mining Anomalies Using Traffic Feature Distributions".
+
+Lakhina, Crovella & Diot, SIGCOMM 2005 (BUCS-TR-2005-002).
+
+The package implements the paper's full pipeline plus every substrate
+it depends on:
+
+* :mod:`repro.net` — backbone topologies (Abilene, Geant), addressing,
+  longest-prefix routing and egress resolution.
+* :mod:`repro.flows` — flow records, 5-minute binning, packet sampling,
+  feature histograms, OD-flow aggregation into traffic cubes.
+* :mod:`repro.traffic` — synthetic network-wide traffic generation
+  (diurnal cycles, gravity OD matrix, Zipf feature distributions).
+* :mod:`repro.anomalies` — the Table-1 anomaly zoo, trace thinning,
+  k-way DDOS splitting, and injection machinery.
+* :mod:`repro.core` — sample entropy, the (multiway) subspace method,
+  multi-attribute identification, clustering, and unsupervised
+  classification; plus online extensions.
+* :mod:`repro.datasets` — labeled Abilene/Geant-like datasets with
+  ground-truth schedules.
+* :mod:`repro.experiments` — one module per paper table and figure.
+
+Quickstart::
+
+    from repro import abilene_dataset, AnomalyDiagnosis
+
+    data = abilene_dataset(weeks=1)
+    report = AnomalyDiagnosis().diagnose(data.cube, labels_by_bin=data.labels_by_bin)
+    print(report.counts())
+"""
+
+from repro.core import (
+    AnomalyDiagnosis,
+    DiagnosisReport,
+    MultiwaySubspaceDetector,
+    SubspaceDetector,
+    hierarchical,
+    kmeans,
+    sample_entropy,
+)
+from repro.datasets import abilene_dataset, geant_dataset, make_labeled_dataset
+from repro.flows import FEATURES, TimeBins, TrafficCube
+from repro.net import Topology, abilene, geant
+from repro.traffic import GeneratorConfig, TrafficGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyDiagnosis",
+    "DiagnosisReport",
+    "MultiwaySubspaceDetector",
+    "SubspaceDetector",
+    "hierarchical",
+    "kmeans",
+    "sample_entropy",
+    "abilene_dataset",
+    "geant_dataset",
+    "make_labeled_dataset",
+    "FEATURES",
+    "TimeBins",
+    "TrafficCube",
+    "Topology",
+    "abilene",
+    "geant",
+    "GeneratorConfig",
+    "TrafficGenerator",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Anomaly zoo: Table-1 anomaly types, thinning, splitting, injection."""
+
+from repro.anomalies.base import AnomalyTrace, FeatureContribution, OutageEvent
+from repro.anomalies.builders import (
+    BUILDERS,
+    alpha_flow,
+    ddos,
+    dos_single,
+    flash_crowd,
+    known_traces,
+    network_scan,
+    point_multipoint,
+    port_scan,
+    worm_scan,
+)
+from repro.anomalies.injector import (
+    InjectionScorer,
+    combined_counts,
+    inject_outage,
+    inject_trace,
+    injected_bin_state,
+    outage_bin_state,
+)
+
+__all__ = [
+    "AnomalyTrace",
+    "FeatureContribution",
+    "OutageEvent",
+    "BUILDERS",
+    "alpha_flow",
+    "ddos",
+    "dos_single",
+    "flash_crowd",
+    "known_traces",
+    "network_scan",
+    "point_multipoint",
+    "port_scan",
+    "worm_scan",
+    "InjectionScorer",
+    "combined_counts",
+    "inject_outage",
+    "inject_trace",
+    "injected_bin_state",
+    "outage_bin_state",
+]

@@ -1,0 +1,274 @@
+"""Anomaly traces: the objects the injector superimposes on traffic.
+
+An :class:`AnomalyTrace` describes the packets an anomaly adds to one
+(OD flow, bin): for each of the four traffic features it records how
+the anomaly's packets distribute over feature values.  Values come in
+two kinds:
+
+* **background ranks** — the anomaly touches a value that already
+  exists in the target OD flow's traffic (e.g. a DOS victim is an
+  existing host).  Stored as ``{rank: packet_count}``.
+* **novel values** — values the background does not contain (spoofed
+  sources, scanned ports...).  Stored as a count array; the injector
+  appends them to the background histogram.
+
+This mirrors the paper's injection methodology: attack packets from the
+Los Nettos / Utah traces were remapped onto addresses and ports seen in
+the Abilene data (background ranks) or onto fresh values, then
+superimposed.  Thinning (``thin``) reproduces the paper's 1-in-N packet
+selection, and ``split_by_sources`` reproduces the k-way DDOS split
+across origin PoPs used in the multi-OD-flow experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.entropy import sample_entropy
+from repro.flows.features import FEATURES, N_FEATURES
+from repro.flows.sampling import thin_counts
+
+__all__ = ["FeatureContribution", "AnomalyTrace", "OutageEvent", "TrafficSurge"]
+
+
+@dataclass
+class FeatureContribution:
+    """How an anomaly's packets distribute over one feature.
+
+    Attributes:
+        on_background: ``{background_rank: packets}`` for values shared
+            with the target OD flow.
+        novel: Packet counts over values absent from the background.
+    """
+
+    on_background: dict[int, int] = field(default_factory=dict)
+    novel: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.novel = np.asarray(self.novel, dtype=np.int64)
+        if np.any(self.novel < 0):
+            raise ValueError("novel counts must be non-negative")
+        for rank, count in self.on_background.items():
+            if rank < 0 or count < 0:
+                raise ValueError("background contributions must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total packets this feature view accounts for."""
+        return int(sum(self.on_background.values()) + self.novel.sum())
+
+    @property
+    def n_values(self) -> int:
+        """Distinct feature values touched (nonzero entries)."""
+        return len([c for c in self.on_background.values() if c > 0]) + int(
+            (self.novel > 0).sum()
+        )
+
+    def thin(self, factor: int, rng: np.random.Generator) -> "FeatureContribution":
+        """Thin to ~1/factor of the packets (paper's trace thinning)."""
+        novel = thin_counts(self.novel, factor, rng)
+        on_bg = {}
+        for rank, count in self.on_background.items():
+            thinned = int(thin_counts(np.array([count]), factor, rng)[0])
+            if thinned:
+                on_bg[rank] = thinned
+        return FeatureContribution(on_background=on_bg, novel=novel)
+
+    def scale_to(self, new_total: int, rng: np.random.Generator) -> "FeatureContribution":
+        """Resample the contribution to a different total packet count.
+
+        Used when splitting a trace: a sub-trace carrying a share of the
+        packets keeps the *shape* of the other features' distributions.
+        """
+        old_total = self.total
+        if new_total < 0:
+            raise ValueError("new_total must be non-negative")
+        if old_total == 0 or new_total == 0:
+            return FeatureContribution()
+        bg_items = list(self.on_background.items())
+        weights = np.array(
+            [c for _, c in bg_items] + list(self.novel), dtype=np.float64
+        )
+        drawn = rng.multinomial(new_total, weights / weights.sum())
+        on_bg = {
+            rank: int(n)
+            for (rank, _), n in zip(bg_items, drawn[: len(bg_items)])
+            if n > 0
+        }
+        novel = drawn[len(bg_items):].astype(np.int64)
+        return FeatureContribution(on_background=on_bg, novel=novel)
+
+    def standalone_entropy(self) -> float:
+        """Entropy of the anomaly's own packets (ignoring background)."""
+        counts = np.concatenate(
+            [np.array(list(self.on_background.values()), dtype=np.int64), self.novel]
+        )
+        return sample_entropy(counts)
+
+
+@dataclass
+class AnomalyTrace:
+    """A complete anomaly: per-feature contributions + volume.
+
+    Attributes:
+        label: Anomaly type (one of
+            :data:`repro.core.classify.ANOMALY_LABELS`).
+        contributions: One :class:`FeatureContribution` per feature in
+            :data:`repro.flows.features.FEATURES` order.
+        packets: Total anomaly packets in the bin.
+        bytes: Total anomaly bytes.
+        meta: Free-form details (variant, victim rank, pps, ...).
+    """
+
+    label: str
+    contributions: tuple[FeatureContribution, ...]
+    packets: int
+    bytes: int
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.contributions) != N_FEATURES:
+            raise ValueError(f"need {N_FEATURES} feature contributions")
+        if self.packets < 0 or self.bytes < 0:
+            raise ValueError("volume must be non-negative")
+
+    def contribution(self, feature: int | str) -> FeatureContribution:
+        """Contribution for a feature by index or name."""
+        if isinstance(feature, str):
+            feature = FEATURES.index(feature)
+        return self.contributions[feature]
+
+    @property
+    def pps(self) -> float:
+        """Packets per second assuming a 300 s bin."""
+        return self.packets / 300.0
+
+    def thin(self, factor: int, seed: int = 0) -> "AnomalyTrace":
+        """Thinned copy: keep ~1/factor of the packets everywhere.
+
+        Deterministic for a given ``(trace, factor, seed)``.
+        """
+        if factor == 1:
+            return self
+        rng = np.random.default_rng(np.random.SeedSequence([seed, factor]))
+        contribs = tuple(c.thin(factor, rng) for c in self.contributions)
+        packets = int(thin_counts(np.array([self.packets]), factor, rng)[0])
+        with np.errstate(invalid="ignore"):
+            ratio = packets / self.packets if self.packets else 0.0
+        return AnomalyTrace(
+            label=self.label,
+            contributions=contribs,
+            packets=packets,
+            bytes=int(round(self.bytes * ratio)),
+            meta={**self.meta, "thinning": factor},
+        )
+
+    def split_by_sources(self, k: int, seed: int = 0) -> list["AnomalyTrace"]:
+        """Split into ``k`` sub-traces partitioning the novel sources.
+
+        Reproduces the paper's multi-OD-flow DDOS construction: source
+        IPs are uniquely mapped onto k origin PoPs "so that each of the
+        k groups has roughly the same amount of traffic".  Other
+        features are resampled proportionally to each group's share.
+        """
+        src = self.contribution("src_ip")
+        n_sources = len(src.novel)
+        if k < 1 or k > max(n_sources, 1):
+            raise ValueError(f"cannot split {n_sources} sources into {k} groups")
+        if k == 1:
+            return [self]
+        rng = np.random.default_rng(np.random.SeedSequence([seed, k, 7]))
+        order = np.argsort(src.novel)[::-1]  # heaviest first
+        group_of = np.zeros(n_sources, dtype=np.int64)
+        loads = np.zeros(k)
+        for idx in order:  # greedy balanced partition
+            g = int(np.argmin(loads))
+            group_of[idx] = g
+            loads[g] += src.novel[idx]
+        traces = []
+        for g in range(k):
+            member_mask = group_of == g
+            novel = np.where(member_mask, src.novel, 0)
+            group_packets = int(novel.sum())
+            share = group_packets / max(self.packets, 1)
+            src_contrib = FeatureContribution(
+                on_background=dict(src.on_background) if g == 0 else {},
+                novel=novel[member_mask],
+            )
+            group_total = src_contrib.total
+            contribs = []
+            for f, contrib in enumerate(self.contributions):
+                if FEATURES[f] == "src_ip":
+                    contribs.append(src_contrib)
+                else:
+                    contribs.append(contrib.scale_to(group_total, rng))
+            traces.append(
+                AnomalyTrace(
+                    label=self.label,
+                    contributions=tuple(contribs),
+                    packets=group_total,
+                    bytes=int(round(self.bytes * share)),
+                    meta={**self.meta, "split": k, "group": g},
+                )
+            )
+        return traces
+
+
+@dataclass(frozen=True)
+class OutageEvent:
+    """A traffic dip: equipment failure or maintenance.
+
+    Unlike additive anomalies, an outage *removes* traffic.  The model:
+    the heaviest ``head_ranks`` feature values (the big flows that were
+    rerouted or lost) keep only ``head_survival`` of their packets,
+    while the tail keeps ``tail_survival``.  Killing the head disperses
+    the remaining distribution — reproducing the paper's observation
+    that outages show *unusually dispersed* addresses (Table 6) — and
+    the total volume dips sharply.
+    """
+
+    head_ranks: int = 10
+    head_survival: float = 0.02
+    tail_survival: float = 0.6
+    label: str = "outage"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.head_survival <= 1 or not 0 <= self.tail_survival <= 1:
+            raise ValueError("survival fractions must be in [0, 1]")
+        if self.head_ranks < 0:
+            raise ValueError("head_ranks must be non-negative")
+
+    def apply_to_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Apply the dip to one feature histogram (rank-ordered)."""
+        out = counts.astype(np.float64).copy()
+        h = min(self.head_ranks, len(out))
+        out[:h] *= self.head_survival
+        out[h:] *= self.tail_survival
+        return np.round(out).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TrafficSurge:
+    """A uniform volume surge: the whole OD flow scales up.
+
+    Models high-rate events that do *not* disturb feature distributions
+    — e.g. a bandwidth-measurement burst riding the flow's existing
+    host/port structure, or a demand spike.  Because sample entropy is
+    scale-invariant, a surge is invisible to the entropy detector and
+    shows up only in volume metrics; this is the population behind the
+    paper's large volume-only detection counts (Table 2) and the
+    volume-detected alpha flows of Table 3.
+    """
+
+    factor: float = 3.0
+    label: str = "alpha"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply_to_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Scale one feature histogram uniformly."""
+        return np.round(counts.astype(np.float64) * self.factor).astype(np.int64)

@@ -1,0 +1,114 @@
+"""Core methods: entropy, subspace detection, identification, classification."""
+
+from repro.core.classify import (
+    ANOMALY_LABELS,
+    ClusterSummary,
+    label_statistics,
+    plurality_label,
+    signature_label,
+    signature_string,
+    summarize_clusters,
+    unit_normalize,
+)
+from repro.core.clustering import (
+    ClusteringResult,
+    agreement_rate,
+    choose_k_curves,
+    cluster_variation,
+    hierarchical,
+    kmeans,
+    pairwise_distances,
+    relabel_by_size,
+)
+from repro.core.baselines import (
+    EWMADetector,
+    HoltWintersDetector,
+    WaveletVarianceDetector,
+    detect_matrix,
+)
+from repro.core.detector import AnomalyDiagnosis, DiagnosedAnomaly, DiagnosisReport
+from repro.core.dispersion import (
+    DISPERSION_METRICS,
+    gini_coefficient,
+    renyi_entropy,
+    simpson_index,
+    top_k_share,
+)
+from repro.core.metrics import ConfusionCounts, alpha_sweep, auc_of_sweep, score_detections
+from repro.core.entropy import (
+    entropy_rows,
+    max_entropy,
+    normalized_entropy,
+    sample_entropy,
+)
+from repro.core.identification import IdentifiedFlow, identify_flows, theta_columns
+from repro.core.multiway import (
+    MultiwayDetection,
+    MultiwaySubspaceDetector,
+    fold_row,
+    normalize_unit_energy,
+    unfold,
+)
+from repro.core.online import OnlineClassifier, OnlineDetection, OnlineMultiwayDetector
+from repro.core.subspace import (
+    DetectionResult,
+    PCAModel,
+    SubspaceDetector,
+    SubspaceModel,
+    q_threshold,
+)
+
+__all__ = [
+    "ANOMALY_LABELS",
+    "ClusterSummary",
+    "label_statistics",
+    "plurality_label",
+    "signature_label",
+    "signature_string",
+    "summarize_clusters",
+    "unit_normalize",
+    "ClusteringResult",
+    "agreement_rate",
+    "choose_k_curves",
+    "cluster_variation",
+    "hierarchical",
+    "kmeans",
+    "pairwise_distances",
+    "relabel_by_size",
+    "EWMADetector",
+    "HoltWintersDetector",
+    "WaveletVarianceDetector",
+    "detect_matrix",
+    "AnomalyDiagnosis",
+    "DiagnosedAnomaly",
+    "DiagnosisReport",
+    "DISPERSION_METRICS",
+    "gini_coefficient",
+    "renyi_entropy",
+    "simpson_index",
+    "top_k_share",
+    "ConfusionCounts",
+    "alpha_sweep",
+    "auc_of_sweep",
+    "score_detections",
+    "entropy_rows",
+    "max_entropy",
+    "normalized_entropy",
+    "sample_entropy",
+    "IdentifiedFlow",
+    "identify_flows",
+    "theta_columns",
+    "MultiwayDetection",
+    "MultiwaySubspaceDetector",
+    "fold_row",
+    "normalize_unit_energy",
+    "unfold",
+    "OnlineClassifier",
+    "OnlineDetection",
+    "OnlineMultiwayDetector",
+    "DetectionResult",
+    "PCAModel",
+    "SubspaceDetector",
+    "SubspaceModel",
+    "q_threshold",
+]

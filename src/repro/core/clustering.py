@@ -1,0 +1,313 @@
+"""Clustering algorithms for unsupervised anomaly classification.
+
+The paper deliberately uses *simple* clustering — one partitional
+algorithm (k-means) and one hierarchical algorithm (agglomerative with
+nearest-neighbour joining) — and shows the results are insensitive to
+the choice.  Both are implemented here from scratch (no sklearn in this
+environment, and the algorithms are part of the reproduction surface):
+
+* :func:`kmeans` — Lloyd's algorithm with k-means++ seeding and
+  multiple restarts.
+* :func:`hierarchical` — agglomerative clustering via the
+  Lance-Williams update, supporting single (the paper's
+  nearest-neighbour rule), complete, average and Ward linkage.
+* :func:`cluster_variation` — the paper's intra-/inter-cluster
+  variation metrics trace(W) and trace(B) (Section 4.3).
+* :func:`choose_k_curves` — variation as a function of k, used to pick
+  the number of clusters (paper Figure 10: knee at ~8-12, fixed at 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ClusteringResult",
+    "kmeans",
+    "hierarchical",
+    "cluster_variation",
+    "choose_k_curves",
+    "pairwise_distances",
+    "relabel_by_size",
+    "agreement_rate",
+]
+
+
+@dataclass
+class ClusteringResult:
+    """Labels plus summary statistics for one clustering run.
+
+    Attributes:
+        labels: ``(n,)`` cluster index per point, in ``[0, k)``.
+        centers: ``(k, d)`` cluster means.
+        k: Number of clusters.
+        inertia: Total within-cluster sum of squares (trace(W)).
+        algorithm: ``"kmeans"`` or ``"hierarchical/<linkage>"``.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    k: int
+    inertia: float
+    algorithm: str
+
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes (points per cluster)."""
+        return np.bincount(self.labels, minlength=self.k)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the points in ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+
+def pairwise_distances(X: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix (n x n)."""
+    X = np.asarray(X, dtype=np.float64)
+    sq = (X ** 2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(d2)
+
+
+def _kmeans_pp_seeds(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centers."""
+    n = X.shape[0]
+    centers = np.empty((k, X.shape[1]))
+    first = rng.integers(n)
+    centers[0] = X[first]
+    d2 = ((X - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            centers[j:] = X[rng.integers(n, size=k - j)]
+            break
+        probs = d2 / total
+        idx = rng.choice(n, p=probs)
+        centers[j] = X[idx]
+        d2 = np.minimum(d2, ((X - centers[j]) ** 2).sum(axis=1))
+    return centers
+
+
+def _lloyd(
+    X: np.ndarray, centers: np.ndarray, max_iter: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One run of Lloyd's algorithm; returns (labels, centers, inertia)."""
+    k = centers.shape[0]
+    labels = np.zeros(X.shape[0], dtype=np.int64)
+    for _ in range(max_iter):
+        d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d2.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centers[j] = X[mask].mean(axis=0)
+            # Empty cluster: re-seed at the point farthest from its center.
+            else:
+                farthest = d2.min(axis=1).argmax()
+                centers[j] = X[farthest]
+    d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+    return labels, centers, inertia
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    rng: np.random.Generator | int | None = 0,
+    n_init: int = 8,
+    max_iter: int = 100,
+) -> ClusteringResult:
+    """k-means clustering (Lloyd + k-means++ seeding, best of ``n_init``).
+
+    Args:
+        X: ``(n, d)`` data points.
+        k: Number of clusters (1 <= k <= n).
+        rng: Generator or seed for reproducible seeding.
+        n_init: Independent restarts; the lowest-inertia run wins.
+        max_iter: Lloyd iteration cap per restart.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} outside [1, {n}]")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    best: tuple[np.ndarray, np.ndarray, float] | None = None
+    for _ in range(n_init):
+        centers = _kmeans_pp_seeds(X, k, rng)
+        labels, centers, inertia = _lloyd(X, centers.copy(), max_iter)
+        if best is None or inertia < best[2]:
+            best = (labels, centers, inertia)
+    labels, centers, inertia = best
+    return ClusteringResult(
+        labels=labels, centers=centers, k=k, inertia=inertia, algorithm="kmeans"
+    )
+
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+def hierarchical(
+    X: np.ndarray,
+    k: int,
+    linkage: str = "single",
+) -> ClusteringResult:
+    """Agglomerative clustering cut at ``k`` clusters.
+
+    Starts with every point in its own cluster and repeatedly joins the
+    two nearest clusters (Lance-Williams distance updates) until ``k``
+    remain.  ``linkage="single"`` is the paper's nearest-neighbour rule;
+    ``"ward"``/``"average"``/``"complete"`` are provided for the
+    robustness ablation.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} outside [1, {n}]")
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; expected one of {_LINKAGES}")
+
+    D = pairwise_distances(X)
+    if linkage == "ward":
+        # Ward operates on squared distances; merge cost for singletons
+        # is d^2/2 but the constant does not change the merge order.
+        D = D ** 2
+    np.fill_diagonal(D, np.inf)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n)
+    # Union-find-ish: cluster id per point, updated on merges.
+    membership = np.arange(n)
+
+    for _ in range(n - k):
+        flat = np.argmin(D)
+        i, j = np.unravel_index(flat, D.shape)
+        if i > j:
+            i, j = j, i
+        # Lance-Williams update of row i (absorbing j).
+        ni, nj = sizes[i], sizes[j]
+        others = active.copy()
+        others[i] = others[j] = False
+        idx = np.flatnonzero(others)
+        if linkage == "single":
+            new = np.minimum(D[i, idx], D[j, idx])
+        elif linkage == "complete":
+            new = np.maximum(D[i, idx], D[j, idx])
+        elif linkage == "average":
+            new = (ni * D[i, idx] + nj * D[j, idx]) / (ni + nj)
+        else:  # ward
+            nk = sizes[idx]
+            new = (
+                (ni + nk) * D[i, idx]
+                + (nj + nk) * D[j, idx]
+                - nk * D[i, j]
+            ) / (ni + nj + nk)
+        D[i, idx] = new
+        D[idx, i] = new
+        D[j, :] = np.inf
+        D[:, j] = np.inf
+        active[j] = False
+        sizes[i] = ni + nj
+        membership[membership == membership[j]] = membership[i]
+
+    # Compact labels to [0, k).
+    unique = np.unique(membership)
+    labels = np.searchsorted(unique, membership)
+    centers = np.vstack([X[labels == c].mean(axis=0) for c in range(len(unique))])
+    inertia = float(
+        sum(
+            ((X[labels == c] - centers[c]) ** 2).sum()
+            for c in range(len(unique))
+        )
+    )
+    return ClusteringResult(
+        labels=labels,
+        centers=centers,
+        k=len(unique),
+        inertia=inertia,
+        algorithm=f"hierarchical/{linkage}",
+    )
+
+
+def cluster_variation(X: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+    """The paper's intra-/inter-cluster variation: (trace(W), trace(B)).
+
+    With ``T = X^T X`` (total sum of squares and cross products, about
+    the origin as in Section 4.3), ``B`` the between-cluster and ``W``
+    the within-cluster scatter, returns ``(trace(W), trace(B))``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(labels)
+    if X.shape[0] != labels.shape[0]:
+        raise ValueError("labels length must match X")
+    trace_t = float((X ** 2).sum())
+    trace_b = 0.0
+    for c in np.unique(labels):
+        members = X[labels == c]
+        mean = members.mean(axis=0)
+        trace_b += len(members) * float((mean ** 2).sum())
+    trace_w = trace_t - trace_b
+    return trace_w, trace_b
+
+
+def choose_k_curves(
+    X: np.ndarray,
+    k_values,
+    algorithm: str = "hierarchical",
+    linkage: str = "single",
+    rng: np.random.Generator | int | None = 0,
+) -> dict[int, tuple[float, float]]:
+    """(trace(W), trace(B)) for each candidate k (paper Figure 10).
+
+    Hierarchical runs reuse one merge pass conceptually; for simplicity
+    and because n is modest we re-run per k.
+    """
+    curves: dict[int, tuple[float, float]] = {}
+    for k in k_values:
+        if algorithm == "hierarchical":
+            result = hierarchical(X, k, linkage=linkage)
+        elif algorithm == "kmeans":
+            result = kmeans(X, k, rng=rng)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        curves[int(k)] = cluster_variation(X, result.labels)
+    return curves
+
+
+def relabel_by_size(labels: np.ndarray) -> np.ndarray:
+    """Relabel clusters so 0 is the largest (paper tables list by size)."""
+    labels = np.asarray(labels)
+    counts = np.bincount(labels)
+    order = np.argsort(counts)[::-1]
+    mapping = np.empty_like(order)
+    mapping[order] = np.arange(len(order))
+    return mapping[labels]
+
+
+def agreement_rate(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Fraction of point *pairs* on which two clusterings agree (Rand index).
+
+    Used for the paper's claim that results are insensitive to the
+    clustering algorithm.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError("label arrays must have the same shape")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    iu = np.triu_indices(n, k=1)
+    return float((same_a[iu] == same_b[iu]).mean())

@@ -1,0 +1,173 @@
+"""Alternative dispersion/concentration metrics for feature distributions.
+
+The paper (Section 3) notes: *"entropy is not the only metric that
+captures a distribution's concentration or dispersal; however we have
+explored other metrics and find that entropy works well in practice."*
+This module supplies those alternatives so the claim can be tested
+(see ``experiments/ablation_metrics.py``):
+
+* :func:`sample_entropy` — the paper's choice (re-exported).
+* :func:`renyi_entropy` — order-q Renyi entropy; q -> 1 recovers
+  Shannon, q = 2 is the (log) collision entropy, closely related to the
+  Gini-Simpson index.
+* :func:`gini_coefficient` — inequality of the count distribution
+  (0 = uniform, -> 1 = concentrated); note the *opposite* orientation
+  to entropy.
+* :func:`simpson_index` — probability two random packets share the
+  feature value (concentration).
+* :func:`distinct_count` / :func:`normalized_distinct` — the crudest
+  dispersal measure; sensitive to sampling.
+* :func:`top_k_share` — fraction of packets on the k heaviest values.
+
+All metrics accept a count histogram (1-D array-like); a registry
+(:data:`DISPERSION_METRICS`) and a vectorised row-wise driver
+(:func:`metric_rows`) let the traffic pipeline swap metrics wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.entropy import sample_entropy
+
+__all__ = [
+    "renyi_entropy",
+    "gini_coefficient",
+    "simpson_index",
+    "distinct_count",
+    "normalized_distinct",
+    "top_k_share",
+    "DISPERSION_METRICS",
+    "metric_rows",
+]
+
+
+def _probabilities(counts) -> np.ndarray:
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("counts must be one-dimensional")
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    arr = arr[arr > 0]
+    total = arr.sum()
+    if total == 0:
+        return np.zeros(0)
+    return arr / total
+
+
+def renyi_entropy(counts, q: float = 2.0) -> float:
+    """Order-``q`` Renyi entropy in bits.
+
+    ``H_q = log2(sum p_i^q) / (1 - q)`` for q != 1; q = 1 is Shannon.
+    Higher orders weight the heavy hitters more, making H_2 a popular
+    DOS-detection statistic in the follow-up literature.
+    """
+    if q < 0:
+        raise ValueError("q must be non-negative")
+    p = _probabilities(counts)
+    if p.size == 0:
+        return 0.0
+    if abs(q - 1.0) < 1e-12:
+        return sample_entropy(counts)
+    return float(np.log2((p ** q).sum()) / (1.0 - q))
+
+
+def gini_coefficient(counts) -> float:
+    """Gini inequality coefficient of the count distribution.
+
+    0 when every observed value is equally common; approaches 1 when a
+    single value dominates a long tail.  Concentration-oriented: an
+    anomaly that *disperses* a feature drives Gini down.
+    """
+    p = _probabilities(counts)
+    n = p.size
+    if n <= 1:
+        return 0.0
+    sorted_p = np.sort(p)
+    cum = np.cumsum(sorted_p)
+    # Gini = 1 - 2 * area under the Lorenz curve (trapezoidal).
+    lorenz_area = (cum.sum() - cum[-1] / 2.0) / n
+    return float(1.0 - 2.0 * lorenz_area)
+
+
+def simpson_index(counts) -> float:
+    """Simpson concentration: P(two random packets share the value).
+
+    Equals ``sum p_i^2``; 1/N for the uniform distribution, 1 for a
+    point mass.  ``1 - simpson`` is the Gini-Simpson diversity.
+    """
+    p = _probabilities(counts)
+    if p.size == 0:
+        return 0.0
+    return float((p ** 2).sum())
+
+
+def distinct_count(counts) -> float:
+    """Number of distinct observed values (dispersal in its rawest form)."""
+    arr = np.asarray(counts, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    return float((arr > 0).sum())
+
+
+def normalized_distinct(counts) -> float:
+    """Distinct values per observation, in (0, 1]; 0 for empty input.
+
+    High when most packets carry unique values (scans), low when a few
+    values dominate a large sample.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    return float((arr > 0).sum() / total)
+
+
+def top_k_share(counts, k: int = 1) -> float:
+    """Fraction of packets on the ``k`` heaviest values (concentration)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    p = _probabilities(counts)
+    if p.size == 0:
+        return 0.0
+    top = np.sort(p)[::-1][:k]
+    return float(top.sum())
+
+
+#: Registry of metric name -> callable, all taking a count histogram.
+#: Orientation differs by metric (entropy rises with dispersal, Gini /
+#: Simpson / top-share fall); the subspace method is orientation-
+#: agnostic since it works on deviations.
+DISPERSION_METRICS: dict[str, Callable] = {
+    "entropy": sample_entropy,
+    "renyi2": lambda c: renyi_entropy(c, q=2.0),
+    "gini": gini_coefficient,
+    "simpson": simpson_index,
+    "distinct": distinct_count,
+    "top1_share": lambda c: top_k_share(c, k=1),
+}
+
+
+def metric_rows(counts: np.ndarray, metric: str) -> np.ndarray:
+    """Apply a registered metric to every row of a 2-D count matrix.
+
+    The entropy case uses the vectorised fast path; the others loop —
+    they are only used in ablations over modest matrices.
+    """
+    if metric not in DISPERSION_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(DISPERSION_METRICS)}"
+        )
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValueError("counts must be two-dimensional")
+    if metric == "entropy":
+        from repro.core.entropy import entropy_rows
+
+        return entropy_rows(counts)
+    func = DISPERSION_METRICS[metric]
+    return np.array([func(row) for row in counts])

@@ -1,0 +1,110 @@
+"""Sample entropy: the paper's summary statistic for feature distributions.
+
+Given an empirical histogram ``X = {n_i, i=1..N}`` with total
+``S = sum n_i``, the sample entropy is::
+
+    H(X) = - sum_i (n_i / S) * log2(n_i / S)
+
+H lies in ``[0, log2 N]``: 0 when all observations share one value
+(maximal concentration), ``log2 N`` when all values are equally common
+(maximal dispersal).  The paper uses H purely as a summary of a
+distribution's tendency to be concentrated or dispersed — no ergodicity
+or stationarity assumptions — and so do we.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_entropy",
+    "normalized_entropy",
+    "entropy_rows",
+    "entropy_from_probabilities",
+    "max_entropy",
+]
+
+
+def _as_counts(counts) -> np.ndarray:
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("counts must be one-dimensional")
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    return arr
+
+
+def sample_entropy(counts) -> float:
+    """Sample entropy (bits) of a histogram given as counts.
+
+    Zero-count entries are ignored (they are not part of the empirical
+    histogram).  An empty histogram has entropy 0 by convention.
+
+    >>> sample_entropy([1, 1, 1, 1])
+    2.0
+    >>> sample_entropy([10])
+    0.0
+    """
+    arr = _as_counts(counts)
+    arr = arr[arr > 0]
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    p = arr / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def entropy_from_probabilities(p) -> float:
+    """Entropy (bits) of a probability vector (must sum to ~1)."""
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-8):
+        raise ValueError(f"probabilities sum to {total}, expected 1")
+    p = p[p > 0]
+    return float(-(p * np.log2(p)).sum())
+
+
+def max_entropy(n_distinct: int) -> float:
+    """Upper bound ``log2 N`` for a histogram with N distinct values."""
+    if n_distinct < 0:
+        raise ValueError("n_distinct must be non-negative")
+    if n_distinct <= 1:
+        return 0.0
+    return float(np.log2(n_distinct))
+
+
+def normalized_entropy(counts) -> float:
+    """Sample entropy rescaled to [0, 1] by its ``log2 N`` maximum.
+
+    Useful when comparing histograms with very different support sizes;
+    the paper instead normalises residual-entropy *vectors* to unit norm
+    for classification (see :mod:`repro.core.classify`), but a bounded
+    per-histogram variant is handy in examples and tests.
+    """
+    arr = _as_counts(counts)
+    n = int((arr > 0).sum())
+    upper = max_entropy(n)
+    if upper == 0.0:
+        return 0.0
+    return sample_entropy(arr) / upper
+
+
+def entropy_rows(counts: np.ndarray) -> np.ndarray:
+    """Row-wise sample entropy of a 2-D count array.
+
+    Vectorised workhorse for the traffic generator: ``counts`` has shape
+    ``(t, n)`` — one histogram per row — and the result has shape
+    ``(t,)``.  Rows with zero total have entropy 0.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("counts must be two-dimensional")
+    if np.any(arr < 0):
+        raise ValueError("counts must be non-negative")
+    totals = arr.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(totals > 0, arr / totals, 0.0)
+        logp = np.log2(p, out=np.zeros_like(p), where=p > 0)
+    return -(p * logp).sum(axis=1)

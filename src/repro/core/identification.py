@@ -1,0 +1,171 @@
+"""Multi-attribute identification (paper Section 4.2).
+
+Detection says *when* an anomaly happened; identification says *which
+OD flow(s)* caused it.  In the multiway setting the state vector ``h``
+lives in 4p dimensions (4 features x p OD flows).  For OD flow ``k``
+the binary selection matrix ``theta_k`` (4p x 4) picks out its four
+feature coordinates; the anomaly hypothesis is::
+
+    h = h_typical + theta_k @ f_k
+
+with ``f_k`` the 4-vector of entropy displacement caused by flow k.
+Projecting onto the residual subspace (the typical part lives in the
+normal subspace) gives a small least-squares problem per candidate
+flow; the flow whose best-fit displacement explains the most residual
+energy is selected:
+
+    l = argmin_k  min_{f_k} || C (h - theta_k f_k) ||
+
+where C = I - P P^T is the residual projector.  Following the paper we
+re-apply the method recursively — subtract the identified component and
+repeat — until the remaining state drops below the detection threshold
+(or a flow cap is reached), which is how multi-OD-flow anomalies are
+attributed to several flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.features import N_FEATURES
+
+__all__ = ["IdentifiedFlow", "identify_flows", "theta_columns"]
+
+MAX_FLOWS_DEFAULT = 5
+
+
+@dataclass
+class IdentifiedFlow:
+    """One OD flow implicated in a detection.
+
+    Attributes:
+        od: OD-flow index k.
+        displacement: Best-fit ``f_k`` — the per-feature entropy change
+            attributed to this flow (feature order
+            :data:`repro.flows.features.FEATURES`).  This is the vector
+            the classification stage clusters (after unit-norm scaling).
+        residual_spe: Remaining ``||C h||^2`` *after* subtracting this
+            flow's component.
+    """
+
+    od: int
+    displacement: np.ndarray
+    residual_spe: float
+
+
+def theta_columns(od: int, n_od_flows: int) -> np.ndarray:
+    """Column indices of OD flow ``od`` in the unfolded 4p layout."""
+    if not 0 <= od < n_od_flows:
+        raise ValueError(f"OD index out of range: {od}")
+    return od + n_od_flows * np.arange(N_FEATURES)
+
+
+def _best_fit(
+    h_res: np.ndarray,
+    C_theta: np.ndarray,
+    gram_pinv: np.ndarray,
+) -> tuple[np.ndarray, float]:
+    """Solve ``min_f ||h_res - C_theta f||`` via cached normal equations.
+
+    With ``M = pinv(C_theta^T C_theta)`` precomputed, the minimiser is
+    ``f = M (C_theta^T h)`` and the residual norm is
+    ``||h||^2 - f . (C_theta^T h)`` — O(p) per candidate instead of a
+    full least-squares factorisation.
+    """
+    ath = C_theta.T @ h_res
+    f = gram_pinv @ ath
+    remaining = float(h_res @ h_res) - float(f @ ath)
+    return f, max(remaining, 0.0)
+
+
+def identify_flows(
+    h_centered: np.ndarray,
+    normal_basis: np.ndarray,
+    n_od_flows: int,
+    threshold: float,
+    max_flows: int = MAX_FLOWS_DEFAULT,
+    candidates: np.ndarray | None = None,
+    cache: dict[int, tuple[np.ndarray, np.ndarray]] | None = None,
+) -> list[IdentifiedFlow]:
+    """Attribute an anomalous state vector to OD flows, greedily.
+
+    Args:
+        h_centered: ``(4p,)`` state vector with the fitted mean already
+            subtracted (same normalised units the subspace was fit in).
+        normal_basis: ``(4p, m)`` orthonormal basis P of the normal
+            subspace.
+        n_od_flows: Block width p.
+        threshold: Detection threshold on SPE; recursion stops once the
+            residual SPE falls below it.
+        max_flows: Hard cap on the recursion depth.
+        candidates: Optional subset of OD indices to consider (speeds up
+            sweeps where the injected flow set is known); defaults to
+            all p flows.
+        cache: Optional dict for memoising the projected selection
+            matrices ``C theta_k`` across calls against the same basis
+            (the multiway detector passes one per detection run).
+
+    Returns:
+        Identified flows in discovery order (strongest first).  Can be
+        empty when the state is (numerically) below threshold already.
+    """
+    h = np.asarray(h_centered, dtype=np.float64)
+    P = np.asarray(normal_basis, dtype=np.float64)
+    if h.ndim != 1 or h.size != N_FEATURES * n_od_flows:
+        raise ValueError("state vector has wrong length")
+    if candidates is None:
+        candidates = np.arange(n_od_flows)
+
+    def project_residual(x: np.ndarray) -> np.ndarray:
+        return x - P @ (P.T @ x)
+
+    identified: list[IdentifiedFlow] = []
+    current = h.copy()
+    h_res = project_residual(current)
+    spe = float(h_res @ h_res)
+    if cache is None:
+        cache = {}
+    used: set[int] = set()
+    while spe > threshold and len(identified) < max_flows:
+        best_od = -1
+        best_fit: tuple[np.ndarray, float] | None = None
+        for od in candidates:
+            od = int(od)
+            if od in used:
+                continue
+            entry = cache.get(od)
+            if entry is None:
+                # C theta_k = theta_k - P (P^T theta_k); theta_k's
+                # columns are identity columns, so P^T theta_k is just
+                # four rows of P transposed — no big allocation needed.
+                cols = theta_columns(od, n_od_flows)
+                C_theta = -(P @ P[cols].T)
+                C_theta[cols, np.arange(N_FEATURES)] += 1.0
+                gram_pinv = np.linalg.pinv(C_theta.T @ C_theta)
+                entry = (C_theta, gram_pinv)
+                cache[od] = entry
+            fit = _best_fit(h_res, entry[0], entry[1])
+            if best_fit is None or fit[1] < best_fit[1]:
+                best_fit = fit
+                best_od = od
+        if best_od < 0 or best_fit is None:
+            break
+        f_k, remaining_spe = best_fit
+        if remaining_spe >= spe - 1e-15:
+            # No candidate explains any residual energy; stop rather
+            # than loop forever.
+            break
+        identified.append(
+            IdentifiedFlow(
+                od=best_od, displacement=f_k.copy(), residual_spe=remaining_spe
+            )
+        )
+        used.add(best_od)
+        cols = theta_columns(best_od, n_od_flows)
+        current = current.copy()
+        current[cols] -= f_k
+        h_res = project_residual(current)
+        spe = float(h_res @ h_res)
+    return identified

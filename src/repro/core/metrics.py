@@ -1,0 +1,143 @@
+"""Detection-quality metrics and threshold sweeps.
+
+The paper evaluates detection quality informally (manual inspection for
+false alarms, injection for detection rate).  With a ground-truth
+schedule we can do it properly: precision/recall/F1 of flagged bins
+against scheduled anomaly bins, and full ROC-style sweeps over the
+detection confidence level alpha (the operating knob the paper exposes
+via the Q threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ConfusionCounts", "score_detections", "alpha_sweep", "auc_of_sweep"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Bin-level confusion between detections and ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was flagged."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was scheduled."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """FP / (FP + TN) — probability a clean bin is flagged."""
+        clean = self.false_positives + self.true_negatives
+        return self.false_positives / clean if clean else 0.0
+
+
+def score_detections(
+    detected_bins: Iterable[int],
+    truth_bins: Iterable[int],
+    n_bins: int,
+    tolerance: int = 0,
+) -> ConfusionCounts:
+    """Score flagged bins against ground-truth anomaly bins.
+
+    Args:
+        detected_bins: Bins the detector flagged.
+        truth_bins: Bins with scheduled anomalies.
+        n_bins: Total bins in the trace.
+        tolerance: A detection within ``tolerance`` bins of a truth bin
+            counts as a hit (operators rarely care about one-bin
+            misalignment).
+
+    Returns:
+        Bin-level confusion counts.
+    """
+    detected = set(int(b) for b in detected_bins)
+    truth = set(int(b) for b in truth_bins)
+    if any(b < 0 or b >= n_bins for b in detected | truth):
+        raise ValueError("bin index outside the trace")
+
+    if tolerance > 0:
+        expanded = set()
+        for b in truth:
+            expanded.update(range(max(0, b - tolerance), min(n_bins, b + tolerance + 1)))
+    else:
+        expanded = truth
+
+    tp_truth = {
+        b for b in truth
+        if any(d in range(max(0, b - tolerance), min(n_bins, b + tolerance + 1))
+               for d in detected)
+    } if tolerance else (truth & detected)
+    fp = len(detected - expanded)
+    tp = len(tp_truth)
+    fn = len(truth) - tp
+    tn = n_bins - len(truth) - fp
+    return ConfusionCounts(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=max(tn, 0),
+    )
+
+
+def alpha_sweep(
+    spe: np.ndarray,
+    threshold_fn,
+    truth_bins: Iterable[int],
+    alphas: Iterable[float] = (0.9, 0.95, 0.99, 0.995, 0.999, 0.9999),
+) -> list[tuple[float, ConfusionCounts]]:
+    """Quality as a function of the detection confidence level.
+
+    Args:
+        spe: ``(t,)`` squared prediction errors of a fitted detector.
+        threshold_fn: ``alpha -> Q_alpha`` (e.g. ``model.threshold``).
+        truth_bins: Ground-truth anomaly bins.
+        alphas: Confidence levels to sweep.
+
+    Returns:
+        ``[(alpha, counts), ...]`` in the order given.
+    """
+    spe = np.asarray(spe, dtype=np.float64)
+    out = []
+    truth = list(truth_bins)
+    for alpha in alphas:
+        detected = np.flatnonzero(spe > threshold_fn(alpha))
+        out.append((alpha, score_detections(detected, truth, len(spe))))
+    return out
+
+
+def auc_of_sweep(sweep: list[tuple[float, ConfusionCounts]]) -> float:
+    """Trapezoidal area under the (false-alarm rate, recall) curve.
+
+    The sweep samples a handful of operating points; the curve is
+    anchored at (0, 0) and (1, 1).  Values near 1 mean the detector
+    separates anomalous bins almost perfectly at some threshold.
+    """
+    points = sorted(
+        [(0.0, 0.0)]
+        + [(c.false_alarm_rate, c.recall) for _, c in sweep]
+        + [(1.0, 1.0)]
+    )
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    return float(np.trapezoid(ys, xs))

@@ -1,0 +1,217 @@
+"""Online extensions (paper Section 8, "ongoing work").
+
+The paper closes by noting that online extensions of the methods are
+being studied.  This module provides two:
+
+* :class:`OnlineMultiwayDetector` — freeze a multiway subspace model
+  trained on a historical window and score new entropy observations
+  bin-by-bin in O(p·m) per bin, with optional periodic refit from a
+  sliding buffer.
+* :class:`OnlineClassifier` — incremental nearest-centroid assignment
+  of newly detected anomalies to existing clusters, spawning a new
+  cluster when an anomaly is farther than ``spawn_distance`` from every
+  centroid (so genuinely new anomaly types surface as new clusters
+  rather than polluting old ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.identification import IdentifiedFlow, identify_flows
+from repro.core.multiway import MultiwaySubspaceDetector
+from repro.flows.features import N_FEATURES
+
+__all__ = ["OnlineDetection", "OnlineMultiwayDetector", "OnlineClassifier"]
+
+
+@dataclass
+class OnlineDetection:
+    """One online detection: bin counter, SPE, and identified flows."""
+
+    bin: int
+    spe: float
+    flows: list[IdentifiedFlow]
+
+
+class OnlineMultiwayDetector:
+    """Streaming wrapper around the multiway subspace method.
+
+    Usage::
+
+        online = OnlineMultiwayDetector(window=2016)
+        online.warm_up(history_tensor)            # (t0, p, 4)
+        for new_bin in stream:                    # (p, 4) each
+            hit = online.observe(new_bin)
+            if hit is not None:
+                ...
+
+    ``refit_every`` controls periodic retraining from the sliding
+    window (0 disables refits; the subspace stays frozen).
+    """
+
+    def __init__(
+        self,
+        window: int = 2016,
+        refit_every: int = 288,
+        n_components: int | None = 10,
+        alpha: float = 0.999,
+        normalization: str = "variance",
+        identify: bool = True,
+        drift_reset_after: int = 12,
+    ) -> None:
+        if window < 8:
+            raise ValueError("window too small to fit a subspace")
+        self.window = window
+        self.refit_every = refit_every
+        self.alpha = alpha
+        self.identify = identify
+        # Anomalous bins are excluded from the sliding buffer so attacks
+        # cannot poison the normal model — but under genuine concept
+        # drift that policy locks up (every bin looks anomalous and the
+        # buffer never advances).  After this many *consecutive*
+        # detections the detector assumes drift, absorbs the bin, and
+        # refits.  Set 0 to disable.
+        self.drift_reset_after = drift_reset_after
+        self._consecutive_hits = 0
+        self._detector = MultiwaySubspaceDetector(
+            n_components=n_components,
+            alpha=alpha,
+            normalization=normalization,
+            identify=False,
+        )
+        self._buffer: np.ndarray | None = None
+        self._seen = 0
+        self._since_refit = 0
+        self._id_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the detector has been fitted."""
+        return self._detector.model is not None
+
+    def warm_up(self, history: np.ndarray) -> None:
+        """Fit on a historical tensor and seed the sliding buffer."""
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 3:
+            raise ValueError("history must be (t, p, k)")
+        if history.shape[0] < 8:
+            raise ValueError("history too short")
+        self._buffer = history[-self.window :].copy()
+        self._detector.fit(self._buffer)
+        self._id_cache.clear()
+        self._seen = history.shape[0]
+        self._since_refit = 0
+
+    def observe(self, bin_entropy: np.ndarray) -> OnlineDetection | None:
+        """Score one new bin; returns a detection or None.
+
+        The new observation also enters the sliding buffer, and a refit
+        happens every ``refit_every`` clean bins (anomalous bins are
+        *not* added to the buffer, so detected anomalies do not poison
+        the normal subspace).
+        """
+        if not self.is_warm or self._buffer is None:
+            raise RuntimeError("call warm_up() first")
+        obs = np.asarray(bin_entropy, dtype=np.float64)
+        if obs.shape != self._buffer.shape[1:]:
+            raise ValueError(
+                f"observation shape {obs.shape} != {self._buffer.shape[1:]}"
+            )
+        tensor = obs[None, :, :]
+        result = self._detector.score(tensor)
+        bin_index = self._seen
+        self._seen += 1
+        spe = float(result.spe[0])
+        if spe > result.threshold:
+            self._consecutive_hits += 1
+            flows: list[IdentifiedFlow] = []
+            if self.identify:
+                model = self._detector.model
+                Hn = self._detector._normalize(tensor)
+                flows = identify_flows(
+                    Hn[0] - model.pca.mean,
+                    model.normal_basis,
+                    self._detector.n_od_flows,
+                    threshold=result.threshold,
+                    cache=self._id_cache,
+                )
+            if (
+                self.drift_reset_after
+                and self._consecutive_hits >= self.drift_reset_after
+            ):
+                # Concept drift, not a burst of anomalies: absorb and refit.
+                self._absorb_and_maybe_refit(tensor, force_refit=True)
+                self._consecutive_hits = 0
+            return OnlineDetection(bin=bin_index, spe=spe, flows=flows)
+        # Clean bin: slide the buffer and maybe refit.
+        self._consecutive_hits = 0
+        self._absorb_and_maybe_refit(tensor)
+        return None
+
+    def _absorb_and_maybe_refit(
+        self, tensor: np.ndarray, force_refit: bool = False
+    ) -> None:
+        self._buffer = np.concatenate([self._buffer[1:], tensor], axis=0)
+        self._since_refit += 1
+        due = self.refit_every and self._since_refit >= self.refit_every
+        if force_refit or due:
+            self._detector.fit(self._buffer)
+            self._id_cache.clear()
+            self._since_refit = 0
+
+
+class OnlineClassifier:
+    """Incremental nearest-centroid classification of anomaly vectors.
+
+    Seeded with the centroids of an offline clustering; each new
+    unit-normalised anomaly vector is assigned to the nearest centroid
+    (running-mean update) unless it is farther than ``spawn_distance``
+    from all of them, in which case it founds a new cluster.
+    """
+
+    def __init__(self, centroids: np.ndarray, spawn_distance: float = 0.7) -> None:
+        centroids = np.asarray(centroids, dtype=np.float64)
+        if centroids.ndim != 2 or centroids.shape[1] != N_FEATURES:
+            raise ValueError(f"centroids must be (k, {N_FEATURES})")
+        self._centroids = [c.copy() for c in centroids]
+        self._counts = [1] * len(self._centroids)
+        self.spawn_distance = spawn_distance
+
+    @property
+    def n_clusters(self) -> int:
+        """Current number of clusters (can grow over time)."""
+        return len(self._centroids)
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Current centroids, ``(k, 4)``."""
+        return np.vstack(self._centroids)
+
+    def assign(self, vector: np.ndarray, update: bool = True) -> int:
+        """Assign a vector to a cluster (possibly a brand-new one).
+
+        Args:
+            vector: ``(4,)`` unit-normalised entropy vector.
+            update: When True (default) the matched centroid moves
+                toward the vector by the running-mean rule.
+
+        Returns:
+            The assigned cluster index.
+        """
+        v = np.asarray(vector, dtype=np.float64)
+        if v.shape != (N_FEATURES,):
+            raise ValueError(f"vector must be a {N_FEATURES}-vector")
+        dists = [float(np.linalg.norm(v - c)) for c in self._centroids]
+        best = int(np.argmin(dists))
+        if dists[best] > self.spawn_distance:
+            self._centroids.append(v.copy())
+            self._counts.append(1)
+            return len(self._centroids) - 1
+        if update:
+            n = self._counts[best] + 1
+            self._centroids[best] += (v - self._centroids[best]) / n
+            self._counts[best] = n
+        return best

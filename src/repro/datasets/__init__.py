@@ -1,0 +1,25 @@
+"""Labeled synthetic datasets standing in for the paper's Abilene/Geant traces."""
+
+from repro.datasets.labeled import (
+    LabeledDataset,
+    abilene_dataset,
+    geant_dataset,
+    make_labeled_dataset,
+)
+from repro.datasets.schedule import (
+    DEFAULT_MIX,
+    AnomalySchedule,
+    ScheduledAnomaly,
+    make_schedule,
+)
+
+__all__ = [
+    "LabeledDataset",
+    "abilene_dataset",
+    "geant_dataset",
+    "make_labeled_dataset",
+    "DEFAULT_MIX",
+    "AnomalySchedule",
+    "ScheduledAnomaly",
+    "make_schedule",
+]

@@ -1,0 +1,55 @@
+"""Experiments: one module per table and figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and
+``format_report(result)`` returning the paper-style rows as text.  The
+mapping from paper artefacts to modules is DESIGN.md §4; the measured
+outcomes are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    ablation_metrics,
+    ablations,
+    baseline_comparison,
+    anonymization_check,
+    cache,
+    fig1_histograms,
+    fig2_timeseries,
+    fig4_volume_vs_entropy,
+    fig5_detection_rate,
+    fig6_multiflow,
+    fig7_known_clusters,
+    fig8_abilene_space,
+    fig9_geant_space,
+    fig10_cluster_selection,
+    table2_detections,
+    table3_breakdown,
+    table4_traces,
+    table5_thinning,
+    table6_label_space,
+    table7_abilene_clusters,
+    table8_geant_clusters,
+)
+
+__all__ = [
+    "ablation_metrics",
+    "ablations",
+    "baseline_comparison",
+    "anonymization_check",
+    "cache",
+    "fig1_histograms",
+    "fig2_timeseries",
+    "fig4_volume_vs_entropy",
+    "fig5_detection_rate",
+    "fig6_multiflow",
+    "fig7_known_clusters",
+    "fig8_abilene_space",
+    "fig9_geant_space",
+    "fig10_cluster_selection",
+    "table2_detections",
+    "table3_breakdown",
+    "table4_traces",
+    "table5_thinning",
+    "table6_label_space",
+    "table7_abilene_clusters",
+    "table8_geant_clusters",
+]

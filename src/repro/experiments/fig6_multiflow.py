@@ -1,0 +1,152 @@
+"""Figure 6: detecting multi-OD-flow DDOS attacks.
+
+The paper splits the DDOS trace's sources into k groups (k = 2..11),
+injects the k sub-traces into k OD flows that share the victim's
+destination PoP, and measures the detection rate over all C(11, k)
+origin combinations x 11 destination PoPs, at several thinning rates.
+Headline result: detection rates *increase* with k — attacks invisible
+in any single OD flow are caught network-wide (e.g. 100% detection of
+a 1000x-thinned DDOS split over all 11 origins, ~2.5 pps per flow).
+
+We reproduce the construction exactly, sampling origin combinations
+when their number exceeds ``max_combos`` (the full enumeration is
+C(11,k)*11 experiments per thinning; sampling is noted in the output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.anomalies.builders import ddos
+from repro.anomalies.injector import InjectionScorer
+from repro.experiments.cache import get_clean_abilene_week
+from repro.net.topology import abilene
+
+__all__ = ["Fig6Point", "Fig6Result", "run", "format_report"]
+
+DEFAULT_THINNINGS = (1, 100, 1000, 10_000)
+
+
+@dataclass
+class Fig6Point:
+    """Detection rate for one (k, thinning, alpha)."""
+
+    k: int
+    thinning: int
+    alpha: float
+    rate: float
+    per_flow_pps: float
+    n_experiments: int
+
+
+@dataclass
+class Fig6Result:
+    """All Figure-6 curves."""
+
+    points: list[Fig6Point] = field(default_factory=list)
+
+    def curve(self, k: int, alpha: float) -> list[tuple[int, float]]:
+        """(thinning, rate) for one k."""
+        return sorted(
+            (p.thinning, p.rate) for p in self.points if p.k == k and p.alpha == alpha
+        )
+
+
+def run(
+    k_values: tuple[int, ...] = tuple(range(2, 12)),
+    thinnings: tuple[int, ...] = DEFAULT_THINNINGS,
+    alphas: tuple[float, ...] = (0.999, 0.995),
+    injection_bin: int = 400,
+    max_combos: int = 20,
+    seed: int = 0,
+) -> Fig6Result:
+    """Run the multi-OD DDOS sweep.
+
+    Args:
+        k_values: Numbers of participating origin PoPs.
+        thinnings: Thinning factors applied to the DDOS trace before
+            splitting.
+        alphas: Detection confidence levels.
+        injection_bin: Clean target bin.
+        max_combos: Per (destination, k), at most this many origin
+            combinations are evaluated (random subsample, seeded).
+        seed: Master seed for trace building, splitting and sampling.
+    """
+    cube, generator = get_clean_abilene_week()
+    topo = abilene()
+    scorer = InjectionScorer(cube, generator, alphas=alphas)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 66]))
+    base = ddos(np.random.default_rng(seed), pps=2.75e4)
+
+    points = []
+    for factor in thinnings:
+        thinned = base.thin(factor, seed=seed)
+        if thinned.packets < max(k_values):
+            continue
+        for k in k_values:
+            parts = thinned.split_by_sources(k, seed=seed)
+            hits = {alpha: 0 for alpha in alphas}
+            n = 0
+            for dest in range(topo.n_pops):
+                # The paper's construction allows any of the 11 PoPs as
+                # an origin (including the destination's own PoP).
+                combos = list(combinations(range(topo.n_pops), k))
+                if len(combos) > max_combos:
+                    idx = rng.choice(len(combos), size=max_combos, replace=False)
+                    combos = [combos[i] for i in idx]
+                for combo in combos:
+                    injections = [
+                        (topo.od_index(origin, dest), part)
+                        for origin, part in zip(combo, parts)
+                    ]
+                    n += 1
+                    for alpha in alphas:
+                        out = scorer.score(injection_bin, injections, alpha=alpha)
+                        hits[alpha] += out.detected_any
+            for alpha in alphas:
+                points.append(
+                    Fig6Point(
+                        k=k,
+                        thinning=factor,
+                        alpha=alpha,
+                        rate=hits[alpha] / max(n, 1),
+                        per_flow_pps=thinned.pps / k,
+                        n_experiments=n,
+                    )
+                )
+    return Fig6Result(points=points)
+
+
+def format_report(result: Fig6Result) -> str:
+    """Figure-6 curves as rows (one per k, thinning, alpha)."""
+    lines = [
+        "Figure 6 — multi-OD-flow DDOS detection (k-way source split)",
+        f"{'k':>3} {'Thin':>7} {'alpha':>6} {'pps/flow':>10} {'Rate':>6} {'N':>5}",
+    ]
+    for p in sorted(result.points, key=lambda p: (p.thinning, p.alpha, p.k)):
+        lines.append(
+            f"{p.k:>3} {p.thinning:>7} {p.alpha:>6} {p.per_flow_pps:>10.3g} "
+            f"{p.rate:>6.2f} {p.n_experiments:>5}"
+        )
+    # Shape check: for a fixed thinning, rate should not decrease with k.
+    for alpha in {p.alpha for p in result.points}:
+        for thin in {p.thinning for p in result.points}:
+            series = [
+                p.rate
+                for p in sorted(result.points, key=lambda q: q.k)
+                if p.alpha == alpha and p.thinning == thin
+            ]
+            if len(series) >= 2:
+                trend = "rising" if series[-1] >= series[0] else "falling"
+                lines.append(
+                    f"shape check thin={thin} alpha={alpha}: rate k=min..max "
+                    f"{series[0]:.2f}->{series[-1]:.2f} ({trend}; paper: larger k detects better)"
+                )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,141 @@
+"""Figure 7: clustering known (injected) anomalies in entropy space.
+
+The paper injects the three known anomaly types at varying intensities,
+plots their residual-entropy vectors in entropy space (three 2-D
+projections against H~(srcIP)), and shows that hierarchical clustering
+with k=3 recovers the types almost perfectly: 4 misassignments out of
+296 anomalies.
+
+We inject ~100 instances of each type (random OD flows, random
+thinnings), compute each injection's residual-entropy 4-vector against
+the clean-fit multiway subspace, unit-normalise, cluster with k=3
+hierarchical agglomerative clustering, and count disagreements with the
+ground-truth types under the best cluster->type assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.anomalies.builders import ddos, dos_single, worm_scan
+from repro.anomalies.injector import InjectionScorer
+from repro.core.classify import unit_normalize
+from repro.core.clustering import hierarchical
+from repro.experiments.cache import get_clean_abilene_week
+
+__all__ = ["Fig7Result", "run", "format_report"]
+
+_TYPES = ("dos", "ddos", "worm")
+
+
+@dataclass
+class Fig7Result:
+    """Clustered known anomalies.
+
+    Attributes:
+        points: ``(n, 4)`` unit-normalised entropy vectors.
+        true_labels: Ground-truth type per point.
+        cluster_labels: Cluster index per point.
+        n_misassigned: Points whose cluster does not match their type
+            (under the best cluster->type bijection).
+        n_points: Total anomalies.
+    """
+
+    points: np.ndarray
+    true_labels: list[str]
+    cluster_labels: np.ndarray
+    n_misassigned: int
+    n_points: int
+
+
+def _best_assignment_errors(
+    true_labels: list[str], clusters: np.ndarray
+) -> int:
+    """Minimum disagreements over bijections cluster -> type."""
+    best = len(true_labels)
+    for perm in permutations(_TYPES):
+        errors = sum(
+            1
+            for label, c in zip(true_labels, clusters)
+            if label != perm[c % len(perm)]
+        )
+        best = min(best, errors)
+    return best
+
+
+def run(
+    per_type: int = 100,
+    injection_bin: int = 400,
+    seed: int = 0,
+    linkage: str = "average",
+) -> Fig7Result:
+    """Inject, embed, and cluster the known anomaly types.
+
+    Intensity variation: each instance is thinned by a random factor in
+    {1, 2, 5, 10} (DOS types also 100) so clusters must be recovered
+    across an intensity range, as in the paper.
+    """
+    cube, generator = get_clean_abilene_week()
+    scorer = InjectionScorer(cube, generator)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 77]))
+
+    vectors = []
+    labels = []
+    for type_name in _TYPES:
+        for i in range(per_type):
+            trace_rng = np.random.default_rng(np.random.SeedSequence([seed, i, 5]))
+            if type_name == "dos":
+                trace = dos_single(trace_rng)
+                factors = (1, 2, 5, 10, 100)
+            elif type_name == "ddos":
+                trace = ddos(trace_rng)
+                factors = (1, 2, 5, 10, 100)
+            else:
+                trace = worm_scan(trace_rng)
+                factors = (1, 2, 5, 10)
+            factor = int(factors[rng.integers(len(factors))])
+            trace = trace.thin(factor, seed=i)
+            od = int(rng.integers(cube.n_od_flows))
+            vectors.append(scorer.entropy_vector(injection_bin, od, trace))
+            labels.append(type_name)
+
+    points = unit_normalize(np.vstack(vectors))
+    clustering = hierarchical(points, k=len(_TYPES), linkage=linkage)
+    errors = _best_assignment_errors(labels, clustering.labels)
+    return Fig7Result(
+        points=points,
+        true_labels=labels,
+        cluster_labels=clustering.labels,
+        n_misassigned=errors,
+        n_points=len(labels),
+    )
+
+
+def format_report(result: Fig7Result) -> str:
+    """Cluster quality + per-type mean positions (the 3 projections)."""
+    lines = [
+        "Figure 7 — clustering known injected anomalies "
+        f"({result.n_points} anomalies, 3 clusters)",
+        f"misassigned: {result.n_misassigned}/{result.n_points} "
+        "(paper: 4/296)",
+        f"{'type':<6} {'H~srcIP':>9} {'H~srcPort':>10} {'H~dstIP':>9} {'H~dstPort':>10}",
+    ]
+    for type_name in _TYPES:
+        mask = np.array([lab == type_name for lab in result.true_labels])
+        mean = result.points[mask].mean(axis=0)
+        lines.append(
+            f"{type_name:<6} {mean[0]:>9.2f} {mean[1]:>10.2f} "
+            f"{mean[2]:>9.2f} {mean[3]:>10.2f}"
+        )
+    lines.append(
+        "shape check: dos low srcIP & dstIP; ddos high srcIP, low dstIP; "
+        "worm high dstIP, low dstPort"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,44 @@
+"""Flow-measurement substrate: records, binning, sampling, histograms, OD aggregation."""
+
+from repro.flows.binning import BIN_SECONDS, BINS_PER_DAY, BINS_PER_WEEK, TimeBins, bin_flows
+from repro.flows.features import (
+    DST_IP,
+    DST_PORT,
+    FEATURES,
+    N_FEATURES,
+    SRC_IP,
+    SRC_PORT,
+    BinFeatures,
+    FeatureHistogram,
+    feature_index,
+)
+from repro.flows.odflows import ODFlowAggregator, TrafficCube
+from repro.flows.records import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowRecord, FlowRecordBatch
+from repro.flows.sampling import PacketSampler, thin_batch, thin_counts
+
+__all__ = [
+    "BIN_SECONDS",
+    "BINS_PER_DAY",
+    "BINS_PER_WEEK",
+    "TimeBins",
+    "bin_flows",
+    "FEATURES",
+    "N_FEATURES",
+    "SRC_IP",
+    "SRC_PORT",
+    "DST_IP",
+    "DST_PORT",
+    "BinFeatures",
+    "FeatureHistogram",
+    "feature_index",
+    "ODFlowAggregator",
+    "TrafficCube",
+    "FlowRecord",
+    "FlowRecordBatch",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "PacketSampler",
+    "thin_batch",
+    "thin_counts",
+]

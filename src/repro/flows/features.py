@@ -1,0 +1,192 @@
+"""Traffic features and per-bin feature histograms.
+
+A *traffic feature* is a packet-header field; the paper uses four:
+source address, destination address, source port, destination port.
+For each (OD flow, time bin) we keep an empirical histogram per feature
+— "feature value occurred n_i times (in packets)" — which is exactly
+the object sample entropy summarises.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.entropy import sample_entropy
+from repro.flows.records import FlowRecordBatch
+
+__all__ = [
+    "FEATURES",
+    "N_FEATURES",
+    "SRC_IP",
+    "DST_IP",
+    "SRC_PORT",
+    "DST_PORT",
+    "feature_index",
+    "FeatureHistogram",
+    "BinFeatures",
+]
+
+#: Feature order used everywhere (matrices, unfolded blocks, vectors).
+#: This matches the paper's ``h = [H(srcIP), H(srcPort), H(dstIP), H(dstPort)]``
+#: vector layout in Section 4.2.
+FEATURES = ("src_ip", "src_port", "dst_ip", "dst_port")
+N_FEATURES = len(FEATURES)
+
+SRC_IP, SRC_PORT, DST_IP, DST_PORT = range(N_FEATURES)
+
+
+def feature_index(name: str) -> int:
+    """Index of a feature by name (ValueError for unknown names)."""
+    try:
+        return FEATURES.index(name)
+    except ValueError:
+        raise ValueError(f"unknown feature {name!r}; expected one of {FEATURES}")
+
+
+class FeatureHistogram:
+    """Empirical histogram of one feature: value -> packet count."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[int, int] | None = None) -> None:
+        self._counts: Counter[int] = Counter()
+        if counts:
+            for value, count in counts.items():
+                self.add(value, count)
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[int], weights: Iterable[int] | None = None
+    ) -> "FeatureHistogram":
+        """Build from raw feature values, optionally packet-weighted."""
+        hist = cls()
+        if weights is None:
+            for value in values:
+                hist.add(int(value), 1)
+        else:
+            for value, weight in zip(values, weights):
+                hist.add(int(value), int(weight))
+        return hist
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Add ``count`` packets carrying ``value``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count:
+            self._counts[value] += count
+
+    def merge(self, other: "FeatureHistogram") -> "FeatureHistogram":
+        """Return a new histogram with counts from both."""
+        merged = FeatureHistogram()
+        merged._counts = self._counts + other._counts
+        return merged
+
+    def scale(self, factor: float) -> "FeatureHistogram":
+        """Return a copy with counts multiplied by ``factor`` (rounded).
+
+        Used by outage modelling, where traffic *dips* rather than adds.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        scaled = FeatureHistogram()
+        for value, count in self._counts.items():
+            new = int(round(count * factor))
+            if new:
+                scaled._counts[value] = new
+        return scaled
+
+    @property
+    def total(self) -> int:
+        """Total packet count S."""
+        return sum(self._counts.values())
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct feature values N."""
+        return len(self._counts)
+
+    def counts_array(self) -> np.ndarray:
+        """Counts as an int64 array (arbitrary but stable order)."""
+        return np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))
+
+    def rank_ordered(self) -> np.ndarray:
+        """Counts sorted in decreasing rank order (paper Figure 1)."""
+        return np.sort(self.counts_array())[::-1]
+
+    def entropy(self) -> float:
+        """Sample entropy H(X) of the histogram, in bits."""
+        return sample_entropy(self.counts_array())
+
+    def top(self, k: int = 5) -> list[tuple[int, int]]:
+        """The ``k`` heaviest (value, count) pairs."""
+        return self._counts.most_common(k)
+
+    def as_dict(self) -> dict[int, int]:
+        """Copy of the underlying mapping."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __getitem__(self, value: int) -> int:
+        return self._counts.get(value, 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeatureHistogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return f"FeatureHistogram(distinct={self.n_distinct}, total={self.total})"
+
+
+@dataclass
+class BinFeatures:
+    """All four feature histograms plus volume counters for one bin."""
+
+    histograms: tuple[FeatureHistogram, ...] = field(
+        default_factory=lambda: tuple(FeatureHistogram() for _ in FEATURES)
+    )
+    packets: int = 0
+    bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.histograms) != N_FEATURES:
+            raise ValueError(f"expected {N_FEATURES} histograms")
+
+    @classmethod
+    def from_batch(cls, batch: FlowRecordBatch) -> "BinFeatures":
+        """Aggregate a record batch into per-feature histograms.
+
+        Histograms are *packet-weighted*: a record with ``packets=k``
+        contributes k observations, matching the paper's packet-count
+        histograms.
+        """
+        hists = tuple(
+            FeatureHistogram.from_values(getattr(batch, name), batch.packets)
+            for name in FEATURES
+        )
+        return cls(histograms=hists, packets=batch.total_packets, bytes=batch.total_bytes)
+
+    def histogram(self, feature: int | str) -> FeatureHistogram:
+        """Histogram for a feature by index or name."""
+        if isinstance(feature, str):
+            feature = feature_index(feature)
+        return self.histograms[feature]
+
+    def merge(self, other: "BinFeatures") -> "BinFeatures":
+        """Combine two bins' traffic."""
+        hists = tuple(a.merge(b) for a, b in zip(self.histograms, other.histograms))
+        return BinFeatures(
+            histograms=hists,
+            packets=self.packets + other.packets,
+            bytes=self.bytes + other.bytes,
+        )
+
+    def entropies(self) -> np.ndarray:
+        """4-vector of sample entropies in :data:`FEATURES` order."""
+        return np.array([h.entropy() for h in self.histograms])

@@ -1,0 +1,118 @@
+"""Persistence: save/load traffic cubes and export diagnosis reports.
+
+A downstream user wants to generate a dataset once, keep it on disk,
+and export detections for their ticketing/monitoring stack.  Formats:
+
+* traffic cubes  -> a single ``.npz`` (arrays + bin grid + name),
+* diagnosis reports -> CSV (one row per diagnosed anomaly) and a
+  JSON-serialisable dict (summary + clusters) for dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.detector import DiagnosisReport
+from repro.flows.binning import TimeBins
+from repro.flows.odflows import TrafficCube
+
+__all__ = ["save_cube", "load_cube", "report_to_rows", "write_report_csv", "report_summary", "write_report_json"]
+
+_FORMAT_VERSION = 1
+
+
+def save_cube(cube: TrafficCube, path: str | Path) -> Path:
+    """Save a cube to ``.npz`` (appends the suffix if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        packets=cube.packets,
+        bytes=cube.bytes,
+        entropy=cube.entropy,
+        bins=np.array([cube.bins.n_bins, cube.bins.width, cube.bins.start]),
+        network=np.array([cube.network]),
+    )
+    return path
+
+
+def load_cube(path: str | Path) -> TrafficCube:
+    """Load a cube saved by :func:`save_cube`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported cube format version {version}")
+        n_bins, width, start = data["bins"]
+        bins = TimeBins(n_bins=int(n_bins), width=float(width), start=float(start))
+        return TrafficCube(
+            bins=bins,
+            n_od_flows=data["packets"].shape[1],
+            packets=data["packets"],
+            bytes=data["bytes"],
+            entropy=data["entropy"],
+            network=str(data["network"][0]),
+        )
+
+
+def report_to_rows(report: DiagnosisReport) -> list[dict]:
+    """Flatten a diagnosis report to one dict per anomaly (CSV-ready)."""
+    rows = []
+    for anom in report.anomalies:
+        rows.append(
+            {
+                "bin": anom.bin,
+                "od": anom.od,
+                "detected_by_volume": int(anom.detected_by_volume),
+                "detected_by_entropy": int(anom.detected_by_entropy),
+                "spe_entropy": f"{anom.spe_entropy:.6g}",
+                "cluster": anom.cluster,
+                "label": anom.label,
+                "h_src_ip": f"{anom.unit_vector[0]:.4f}",
+                "h_src_port": f"{anom.unit_vector[1]:.4f}",
+                "h_dst_ip": f"{anom.unit_vector[2]:.4f}",
+                "h_dst_port": f"{anom.unit_vector[3]:.4f}",
+            }
+        )
+    return rows
+
+
+def write_report_csv(report: DiagnosisReport, path: str | Path) -> Path:
+    """Write the per-anomaly rows as CSV; returns the path."""
+    path = Path(path)
+    rows = report_to_rows(report)
+    fieldnames = list(rows[0].keys()) if rows else ["bin"]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def report_summary(report: DiagnosisReport) -> dict:
+    """JSON-serialisable summary: counts + per-cluster descriptions."""
+    clusters = []
+    for summary in report.clusters:
+        clusters.append(
+            {
+                "size": summary.size,
+                "signature": "".join(summary.signature),
+                "mean": [round(float(v), 4) for v in summary.mean],
+                "plurality_label": summary.plurality_label,
+                "plurality_count": summary.plurality_count,
+                "n_unknown": summary.n_unknown,
+            }
+        )
+    return {"counts": report.counts(), "clusters": clusters}
+
+
+def write_report_json(report: DiagnosisReport, path: str | Path) -> Path:
+    """Write the JSON summary; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report_summary(report), indent=2) + "\n")
+    return path

@@ -1,0 +1,35 @@
+"""Network substrate: addressing, backbone topologies, and routing."""
+
+from repro.net.addressing import (
+    ANONYMIZATION_BITS,
+    AddressPool,
+    Prefix,
+    anonymize,
+    anonymize_array,
+    format_ip,
+    make_ip,
+    mask_low_bits,
+    parse_ip,
+    well_known_ports,
+)
+from repro.net.routing import PrefixTable, Router
+from repro.net.topology import PoP, Topology, abilene, geant
+
+__all__ = [
+    "ANONYMIZATION_BITS",
+    "AddressPool",
+    "Prefix",
+    "anonymize",
+    "anonymize_array",
+    "format_ip",
+    "make_ip",
+    "mask_low_bits",
+    "parse_ip",
+    "well_known_ports",
+    "PrefixTable",
+    "Router",
+    "PoP",
+    "Topology",
+    "abilene",
+    "geant",
+]

@@ -1,0 +1,213 @@
+"""IPv4 addressing utilities for the synthetic backbone substrate.
+
+Addresses are represented as plain Python ints (host byte order) so that
+large address populations can live in numpy arrays.  The module provides:
+
+* parsing/formatting between dotted-quad strings and ints,
+* prefix arithmetic (``Prefix``), used by the routing table and by the
+  per-PoP address allocator,
+* the Abilene-style anonymisation (zeroing the low 11 bits, i.e.
+  truncating every address to its /21 prefix), and
+* deterministic random address/port pools used by the traffic generator
+  and by the anomaly-trace remapping step (the paper maps attack-trace
+  addresses onto addresses seen in Abilene; we map abstract trace
+  features onto pool members the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IPV4_BITS",
+    "ANONYMIZATION_BITS",
+    "parse_ip",
+    "format_ip",
+    "make_ip",
+    "mask_low_bits",
+    "anonymize",
+    "anonymize_array",
+    "Prefix",
+    "AddressPool",
+    "well_known_ports",
+    "EPHEMERAL_PORT_START",
+]
+
+IPV4_BITS = 32
+
+#: Abilene anonymises flow records by masking out the last 11 bits of both
+#: addresses, leaving a /21 prefix (paper, Section 5).
+ANONYMIZATION_BITS = 11
+
+#: First port of the ephemeral (dynamic) range used by client stacks.
+EPHEMERAL_PORT_START = 1024
+
+_MAX_IP = (1 << IPV4_BITS) - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 string into an int.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an int as a dotted-quad IPv4 string.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IP:
+        raise ValueError(f"not a 32-bit address: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def make_ip(a: int, b: int, c: int, d: int) -> int:
+    """Build an address int from four octets."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError("octet out of range")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def mask_low_bits(value: int, bits: int) -> int:
+    """Zero the low ``bits`` bits of ``value``."""
+    if bits < 0 or bits > IPV4_BITS:
+        raise ValueError("bits must be in [0, 32]")
+    mask = _MAX_IP ^ ((1 << bits) - 1)
+    return value & mask
+
+
+def anonymize(ip: int, bits: int = ANONYMIZATION_BITS) -> int:
+    """Apply Abilene-style anonymisation to a single address."""
+    return mask_low_bits(ip, bits)
+
+
+def anonymize_array(ips: np.ndarray, bits: int = ANONYMIZATION_BITS) -> np.ndarray:
+    """Vectorised :func:`anonymize` over a numpy integer array."""
+    mask = np.uint64(_MAX_IP ^ ((1 << bits) - 1))
+    return (ips.astype(np.uint64) & mask).astype(ips.dtype)
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR prefix (network address + length).
+
+    The network address is stored already masked, so equal prefixes
+    compare equal regardless of how they were constructed.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= IPV4_BITS:
+            raise ValueError("prefix length out of range")
+        masked = mask_low_bits(self.network, IPV4_BITS - self.length)
+        object.__setattr__(self, "network", masked)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        addr, _, length = text.partition("/")
+        if not length:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(parse_ip(addr), int(length))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (IPV4_BITS - self.length)
+
+    def contains(self, ip: int) -> bool:
+        """True when ``ip`` falls inside this prefix."""
+        return mask_low_bits(ip, IPV4_BITS - self.length) == self.network
+
+    def contains_array(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains`."""
+        return anonymize_array(ips, IPV4_BITS - self.length) == self.network
+
+    def nth(self, offset: int) -> int:
+        """The ``offset``-th address inside this prefix."""
+        if not 0 <= offset < self.size:
+            raise ValueError("offset outside prefix")
+        return self.network + offset
+
+    def subnets(self, new_length: int) -> list["Prefix"]:
+        """Split into equal subnets of ``new_length``."""
+        if new_length < self.length:
+            raise ValueError("cannot widen a prefix")
+        step = 1 << (IPV4_BITS - new_length)
+        count = 1 << (new_length - self.length)
+        return [Prefix(self.network + i * step, new_length) for i in range(count)]
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.length}"
+
+
+class AddressPool:
+    """A deterministic pool of host addresses drawn from a prefix.
+
+    The traffic generator assigns each PoP a prefix and materialises a
+    pool of "active hosts" from it.  Pools are deterministic given the
+    seed so that a regenerated histogram for any (OD flow, bin) matches
+    the one used to build the original cube.
+    """
+
+    def __init__(self, prefix: Prefix, n_hosts: int, seed: int) -> None:
+        if n_hosts <= 0:
+            raise ValueError("n_hosts must be positive")
+        if n_hosts > prefix.size:
+            raise ValueError(
+                f"pool of {n_hosts} hosts does not fit in {prefix} ({prefix.size} addrs)"
+            )
+        self.prefix = prefix
+        self.n_hosts = n_hosts
+        rng = np.random.default_rng(seed)
+        offsets = rng.choice(prefix.size, size=n_hosts, replace=False)
+        self._addresses = (prefix.network + offsets).astype(np.int64)
+
+    @property
+    def addresses(self) -> np.ndarray:
+        """All pool addresses as an int64 array (stable order)."""
+        return self._addresses
+
+    def __len__(self) -> int:
+        return self.n_hosts
+
+    def __getitem__(self, index) -> int | np.ndarray:
+        return self._addresses[index]
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Uniformly sample (with replacement) ``size`` pool addresses."""
+        return rng.choice(self._addresses, size=size, replace=True)
+
+
+#: Port numbers of common services, used to give the synthetic port
+#: distribution a realistic heavy head.  Values chosen from IANA
+#: well-known assignments plus the services the paper calls out
+#: (1433 = MS-SQL, targeted by the Snake/Slammer worms; 6667 = IRC and
+#: 443 = HTTPS as frequent DOS targets).
+_WELL_KNOWN_PORTS = (
+    80, 443, 25, 53, 22, 110, 143, 123, 21, 445, 139, 1433, 3306, 6667,
+    8080, 119, 179, 161, 389, 993,
+)
+
+
+def well_known_ports() -> np.ndarray:
+    """Return the well-known service ports used by the traffic model."""
+    return np.array(_WELL_KNOWN_PORTS, dtype=np.int64)

@@ -1,0 +1,145 @@
+"""Routing substrate: longest-prefix match and egress-PoP resolution.
+
+The paper aggregates sampled IP flows into Origin-Destination (OD) flows
+by resolving, for every flow record sampled at an ingress PoP, the
+egress PoP it will leave the network at — using BGP and ISIS tables
+(Feldmann et al. [10]).  We reproduce that function with:
+
+* :class:`PrefixTable` — a longest-prefix-match table from CIDR prefixes
+  to arbitrary values (here: PoP indices), implemented as per-length
+  hash maps probed from longest to shortest, and
+* :class:`Router` — egress resolution plus intra-domain shortest paths
+  over the backbone graph, with a default route for off-net prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, TypeVar
+
+import numpy as np
+
+from repro.net.addressing import IPV4_BITS, Prefix, mask_low_bits
+from repro.net.topology import Topology
+
+__all__ = ["PrefixTable", "Router"]
+
+V = TypeVar("V")
+
+
+class PrefixTable(Generic[V]):
+    """Longest-prefix-match table.
+
+    Entries are stored in one dict per prefix length; lookup masks the
+    address at each populated length from /32 downwards and returns the
+    first hit.  This is O(number of distinct lengths) per lookup, which
+    for our per-PoP /16 allocation is effectively O(1).
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[int, dict[int, V]] = {}
+        self._lengths: list[int] = []  # sorted descending
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def add(self, prefix: Prefix, value: V) -> None:
+        """Insert (or replace) a route for ``prefix``."""
+        table = self._tables.get(prefix.length)
+        if table is None:
+            table = self._tables[prefix.length] = {}
+            self._lengths = sorted(self._tables, reverse=True)
+        table[prefix.network] = value
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the route for ``prefix`` (KeyError if absent)."""
+        table = self._tables[prefix.length]
+        del table[prefix.network]
+        if not table:
+            del self._tables[prefix.length]
+            self._lengths = sorted(self._tables, reverse=True)
+
+    def lookup(self, ip: int) -> V | None:
+        """Longest-prefix match; None when no route covers ``ip``."""
+        for length in self._lengths:
+            key = mask_low_bits(ip, IPV4_BITS - length)
+            table = self._tables[length]
+            if key in table:
+                return table[key]
+        return None
+
+    def lookup_array(self, ips: np.ndarray, default: V) -> list[V]:
+        """Vectorised-ish lookup for an array of addresses."""
+        return [self._fallback(self.lookup(int(ip)), default) for ip in ips]
+
+    @staticmethod
+    def _fallback(value: V | None, default: V) -> V:
+        return default if value is None else value
+
+    def items(self) -> Iterable[tuple[Prefix, V]]:
+        """Iterate all (prefix, value) routes."""
+        for length, table in self._tables.items():
+            for network, value in table.items():
+                yield Prefix(network, length), value
+
+
+class Router:
+    """Egress resolution and intra-domain paths for a backbone topology.
+
+    Builds a :class:`PrefixTable` from each PoP's originated prefix.
+    Destinations that match no PoP prefix (off-net traffic) fall back to
+    ``default_egress`` — mirroring how real transit traffic exits at a
+    peering PoP.
+    """
+
+    def __init__(self, topology: Topology, default_egress: int = 0) -> None:
+        self.topology = topology
+        self.default_egress = default_egress
+        self.table: PrefixTable[int] = PrefixTable()
+        for pop in topology.pops:
+            self.table.add(pop.prefix, pop.index)
+
+    def egress_pop(self, dst_ip: int) -> int:
+        """Egress PoP index for a destination address."""
+        hit = self.table.lookup(dst_ip)
+        return self.default_egress if hit is None else hit
+
+    def egress_pops(self, dst_ips: np.ndarray) -> np.ndarray:
+        """Vectorised egress resolution.
+
+        Exploits the regular /16-per-PoP allocation with a fast path:
+        addresses are first matched against each PoP prefix in bulk.
+        """
+        result = np.full(len(dst_ips), self.default_egress, dtype=np.int64)
+        arr = np.asarray(dst_ips, dtype=np.int64)
+        for pop in self.topology.pops:
+            result[pop.prefix.contains_array(arr)] = pop.index
+        return result
+
+    def resolve_od(self, ingress_pop: int, dst_ip: int) -> int:
+        """OD-flow index for a record sampled at ``ingress_pop``."""
+        return self.topology.od_index(ingress_pop, self.egress_pop(dst_ip))
+
+    def resolve_ods(self, ingress_pop: int, dst_ips: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`resolve_od`."""
+        return ingress_pop * self.topology.n_pops + self.egress_pops(dst_ips)
+
+    def path(self, od: int) -> list[str]:
+        """Backbone path (PoP codes) taken by an OD flow."""
+        origin, destination = self.topology.od_pair(od)
+        return self.topology.shortest_path(origin.code, destination.code)
+
+    def link_load_ods(self, link: tuple[str, str]) -> list[int]:
+        """All OD flows whose shortest path traverses ``link``.
+
+        Used by outage modelling: when a link fails, the traffic of the
+        OD flows routed over it shifts or disappears.
+        """
+        a, b = link
+        ods = []
+        for od in range(self.topology.n_od_flows):
+            path = self.path(od)
+            for u, v in zip(path, path[1:]):
+                if (u, v) == (a, b) or (u, v) == (b, a):
+                    ods.append(od)
+                    break
+        return ods

@@ -1,0 +1,37 @@
+"""Synthetic traffic model: diurnal cycles, gravity matrix, feature distributions."""
+
+from repro.traffic.distributions import (
+    active_support,
+    poisson_histogram_rows,
+    port_pmf,
+    sample_histogram,
+    zipf_pmf,
+)
+from repro.traffic.diurnal import DiurnalBasis, DiurnalModel, ar1_series
+from repro.traffic.generator import (
+    DEFAULT_FEATURE_MODELS,
+    FeatureModel,
+    GeneratorConfig,
+    ODStream,
+    TrafficGenerator,
+)
+from repro.traffic.gravity import gravity_matrix, od_mean_rates, pop_masses
+
+__all__ = [
+    "active_support",
+    "poisson_histogram_rows",
+    "port_pmf",
+    "sample_histogram",
+    "zipf_pmf",
+    "DiurnalBasis",
+    "DiurnalModel",
+    "ar1_series",
+    "DEFAULT_FEATURE_MODELS",
+    "FeatureModel",
+    "GeneratorConfig",
+    "ODStream",
+    "TrafficGenerator",
+    "gravity_matrix",
+    "od_mean_rates",
+    "pop_masses",
+]

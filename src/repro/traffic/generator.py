@@ -1,0 +1,477 @@
+"""Synthetic network-wide traffic generation.
+
+Produces :class:`repro.flows.odflows.TrafficCube` objects that stand in
+for the paper's sampled NetFlow datasets.  Design constraints, in order
+of importance:
+
+1. **Statistical fidelity to what the methods consume.** Normal OD-flow
+   traffic must be low-dimensional across the ensemble (shared diurnal
+   basis), feature distributions heavy-tailed with volume-coupled
+   support sizes (so entropy co-varies with volume, as the paper
+   observes), and per-bin histograms noisy like sampled flow data
+   (Poissonised multinomial sampling).
+2. **Deterministic regeneration.** The anomaly injector must recover
+   the exact background histogram of any (OD flow, bin) to superimpose
+   anomaly packets onto it.  Every random quantity therefore derives
+   from ``SeedSequence([seed, od, tag])`` streams: regenerating an OD's
+   stream yields bit-identical histograms, so the cube stores only
+   entropies and volumes (storing all histograms for 3 weeks x 484 ODs
+   would be gigabytes).
+3. **Speed.** Histogram synthesis is vectorised over time; generating
+   three Abilene-weeks (6048 x 121 bins x 4 features) takes seconds.
+
+The generator also materialises individual bins as flow-record batches
+(:meth:`TrafficGenerator.materialize_bin`) so the record-level pipeline
+(records -> binning -> OD aggregation -> cube) can be exercised
+end-to-end in examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.entropy import entropy_rows
+from repro.flows.binning import TimeBins
+from repro.flows.features import DST_IP, DST_PORT, FEATURES, N_FEATURES, SRC_IP, SRC_PORT
+from repro.flows.odflows import TrafficCube
+from repro.flows.records import FlowRecordBatch
+from repro.net.addressing import EPHEMERAL_PORT_START, AddressPool, well_known_ports
+from repro.net.topology import Topology
+from repro.traffic.distributions import active_support, port_pmf, zipf_pmf
+from repro.traffic.diurnal import DiurnalBasis, ar1_series
+from repro.traffic.gravity import od_mean_rates
+
+__all__ = ["FeatureModel", "GeneratorConfig", "ODStream", "TrafficGenerator"]
+
+# Tags for independent random streams per OD flow.
+_TAG_RATE, _TAG_DRIFT, _TAG_COUNTS, _TAG_BYTES, _TAG_WEIGHTS, _TAG_GLITCH = range(6)
+# Pseudo-OD ids for network-wide (shared) random streams.
+_GLOBAL_OD = 1 << 21
+
+
+@dataclass(frozen=True)
+class FeatureModel:
+    """Distribution model for one traffic feature of one OD flow.
+
+    Attributes:
+        support: Base number of distinct feature values (ranks).
+        alpha: Base Zipf exponent (concentration).
+        alpha_amplitude: Slow sinusoidal drift amplitude of alpha.
+        alpha_sigma: AR(1) jitter of alpha.
+        volume_exponent: Coupling of active support to volume (0
+            decouples entropy from volume).
+        kind: ``"zipf"`` for addresses, ``"port"`` for the
+            well-known-head port profile.
+    """
+
+    support: int
+    alpha: float
+    alpha_amplitude: float = 0.15
+    alpha_sigma: float = 0.002
+    volume_exponent: float = 0.35
+    kind: str = "zipf"
+
+    def __post_init__(self) -> None:
+        if self.support < 4:
+            raise ValueError("support must be >= 4")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.kind not in ("zipf", "port"):
+            raise ValueError(f"unknown feature kind {self.kind!r}")
+
+
+#: Default per-feature models, ordered like FEATURES.  Supports are the
+#: typical number of distinct values in a sampled 5-minute OD-flow bin.
+DEFAULT_FEATURE_MODELS = (
+    FeatureModel(support=96, alpha=0.9),                       # src_ip
+    FeatureModel(support=72, alpha=0.6, kind="port"),          # src_port
+    FeatureModel(support=96, alpha=1.0),                       # dst_ip
+    FeatureModel(support=72, alpha=0.8, kind="port"),          # dst_port
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic traffic model.
+
+    Attributes:
+        mean_od_pps: Network-wide average OD-flow rate in packets/second
+            *before* flow sampling.  The paper quotes ~2068 pps for the
+            average Abilene OD flow on this scale.
+        histogram_sampling: Packet-sampling factor applied when building
+            feature histograms (None: use the topology's sampling rate,
+            e.g. 100 for Abilene, 1000 for Geant).  Volume counters stay
+            on the pre-sampling scale (as the paper reports them), but
+            the histograms — and therefore entropy — see only sampled
+            packets, exactly like histograms built from NetFlow records.
+            This scale split is what makes the paper's injection
+            protocol (unsampled attack packets superimposed on sampled
+            background) so sensitive; see DESIGN.md.
+        feature_models: Per-feature distribution models.
+        mean_packet_size: Average bytes per packet.
+        packet_size_sigma: Lognormal sigma of per-bin mean packet size.
+        rate_noise_rho / rate_noise_sigma: *Idiosyncratic* (per-OD)
+            AR(1) noise of OD rates.  Kept small: backbone OD flows at
+            5-minute bins are smooth, and this is the noise floor that
+            sets volume-detection sensitivity.
+        shared_load_rho / shared_load_sigma: Network-wide AR(1) load
+            factor applied to every OD flow.  Shared variation is
+            PCA-compressible, so it adds realism (and normal-subspace
+            dimensions) without hurting sensitivity — this is what
+            makes normal traffic low-dimensional, per the paper's
+            premise.
+        drift_sigma: AR(1) sigma of the *global* per-feature
+            distribution drift (shared across OD flows; each OD applies
+            a private gain to it).
+        gravity_sigma: Spread of PoP masses in the gravity model.
+        glitch_rate: Per-(OD, bin) probability of a benign single-bin
+            distribution excursion (a transient that is not a scheduled
+            anomaly).  These are the population behind the paper's
+            ~10% false-alarm share: detections with no identifiable
+            cause.  Set 0 to disable.
+        glitch_magnitude: Range of the excursion's |delta alpha|.
+        seed: Master seed; everything derives from it.
+    """
+
+    mean_od_pps: float = 2068.0
+    histogram_sampling: int | None = None
+    feature_models: tuple[FeatureModel, ...] = DEFAULT_FEATURE_MODELS
+    mean_packet_size: float = 500.0
+    packet_size_sigma: float = 0.02
+    rate_noise_rho: float = 0.9
+    rate_noise_sigma: float = 0.03
+    shared_load_rho: float = 0.99
+    shared_load_sigma: float = 0.08
+    drift_sigma: float = 0.05
+    gravity_sigma: float = 0.75
+    glitch_rate: float = 5e-5
+    glitch_magnitude: tuple[float, float] = (0.25, 0.6)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.feature_models) != N_FEATURES:
+            raise ValueError(f"need {N_FEATURES} feature models")
+        if self.mean_od_pps <= 0:
+            raise ValueError("mean_od_pps must be positive")
+
+    def scaled(self, factor: float) -> "GeneratorConfig":
+        """Copy with the overall traffic level scaled by ``factor``."""
+        return replace(self, mean_od_pps=self.mean_od_pps * factor)
+
+
+def _rng(seed: int, od: int, tag: int) -> np.random.Generator:
+    """Independent, reproducible stream for (seed, od, tag)."""
+    return np.random.default_rng(np.random.SeedSequence([seed, od, tag]))
+
+
+@dataclass
+class ODStream:
+    """Everything the generator computes for one OD flow.
+
+    Attributes:
+        od: OD-flow index.
+        packets: ``(t,)`` packet counts per bin.
+        bytes: ``(t,)`` byte counts per bin.
+        entropy: ``(t, 4)`` per-feature sample entropies.
+        histograms: Per-feature ``(t, n_f)`` count matrices (the
+            background histograms injection superimposes onto).
+    """
+
+    od: int
+    packets: np.ndarray
+    bytes: np.ndarray
+    entropy: np.ndarray
+    histograms: tuple[np.ndarray, ...]
+
+
+class TrafficGenerator:
+    """Synthesise a network's OD-flow traffic cube.
+
+    Usage::
+
+        gen = TrafficGenerator(abilene(), TimeBins.for_weeks(1), seed=7)
+        cube = gen.generate()
+        hist = gen.od_stream(od).histograms    # exact background counts
+
+    All outputs are deterministic functions of (topology, bins, config).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bins: TimeBins,
+        config: GeneratorConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.topology = topology
+        self.bins = bins
+        config = config or GeneratorConfig()
+        if seed is not None:
+            config = replace(config, seed=seed)
+        self.config = config
+        master = np.random.default_rng(np.random.SeedSequence([config.seed, 1 << 20]))
+        self.mean_rates = od_mean_rates(
+            topology, config.mean_od_pps, master, sigma=config.gravity_sigma
+        )
+        self.basis = DiurnalBasis(bins.n_bins)
+        sampling = config.histogram_sampling
+        if sampling is None:
+            sampling = max(topology.sampling_rate, 1)
+        self.histogram_sampling = sampling
+        self._stream_cache: OrderedDict[int, ODStream] = OrderedDict()
+        self._cache_limit = 16
+        self._pools: dict[int, AddressPool] = {}
+        # Network-wide shared series (deterministic given the seed).
+        t = bins.n_bins
+        load_rng = _rng(config.seed, _GLOBAL_OD, _TAG_RATE)
+        self.shared_load = ar1_series(
+            t, config.shared_load_rho, config.shared_load_sigma, load_rng
+        )
+        drift_rng = _rng(config.seed, _GLOBAL_OD, _TAG_DRIFT)
+        day = 288.0
+        drifts = []
+        for model in config.feature_models:
+            phase = drift_rng.uniform(0, 2 * np.pi)
+            period = drift_rng.uniform(2.5 * day, 5 * day)
+            slow = model.alpha_amplitude * np.sin(
+                2 * np.pi * np.arange(t) / period + phase
+            )
+            wander = ar1_series(t, 0.98, config.drift_sigma, drift_rng)
+            drifts.append(slow + wander)
+        self.global_drift = np.vstack(drifts)  # (4, t)
+
+    # -- per-OD synthesis -------------------------------------------------
+
+    def _mix_weights(self, od: int) -> np.ndarray:
+        rng = _rng(self.config.seed, od, _TAG_WEIGHTS)
+        daily = rng.uniform(0.6, 1.4)
+        weekly = rng.uniform(0.2, 0.8)
+        constant = rng.uniform(0.5, 1.5)
+        return np.array([daily, weekly, constant])
+
+    def _od_rates(self, od: int) -> tuple[np.ndarray, np.ndarray]:
+        """(realised, expected) packet rates per bin for one OD flow.
+
+        The expected rate carries the shared (network-wide) factors
+        only; the realised rate adds the small idiosyncratic AR(1)
+        noise.  Active support sizes follow the *expected* rate so that
+        entropy co-varies with the diurnal cycle without inheriting
+        per-OD volume noise.
+        """
+        cfg = self.config
+        profile = self.basis.mix(self._mix_weights(od))
+        profile = profile / profile.mean()
+        level = self.mean_rates[od]
+        shared = np.exp(self.shared_load - cfg.shared_load_sigma ** 2 / 2)
+        expected = level * profile * shared
+        rng = _rng(cfg.seed, od, _TAG_RATE)
+        noise = ar1_series(
+            self.bins.n_bins, cfg.rate_noise_rho, cfg.rate_noise_sigma, rng
+        )
+        realised = expected * np.exp(noise - cfg.rate_noise_sigma ** 2 / 2)
+        return realised, expected
+
+    def _feature_pmf_rows(
+        self, model: FeatureModel, alphas: np.ndarray, supports: np.ndarray
+    ) -> np.ndarray:
+        """Per-bin pmfs ``(t, n_max)`` with drifting alpha and support."""
+        n_max = int(supports.max())
+        ranks = np.arange(1, n_max + 1, dtype=np.float64)
+        if model.kind == "port":
+            base = port_pmf(n_max)
+            # Drift modulates the tail steepness around the base shape.
+            log_base = np.log(base)
+            rows = np.exp(log_base[None, :] * (alphas[:, None] / model.alpha))
+        else:
+            rows = np.exp(-np.outer(alphas, np.log(ranks)))
+        # Deactivate ranks beyond the per-bin support.
+        mask = ranks[None, :] <= supports[:, None]
+        rows = rows * mask
+        rows /= rows.sum(axis=1, keepdims=True)
+        return rows
+
+    def od_stream(self, od: int) -> ODStream:
+        """Full synthetic stream for one OD flow (cached, deterministic)."""
+        cached = self._stream_cache.get(od)
+        if cached is not None:
+            self._stream_cache.move_to_end(od)
+            return cached
+        cfg = self.config
+        t = self.bins.n_bins
+        rates, expected_rates = self._od_rates(od)
+        packets = np.maximum(np.round(rates * self.bins.width), 1).astype(np.int64)
+        # Histograms are built from *sampled* packets (1 in
+        # histogram_sampling), like real NetFlow-derived histograms.
+        sampled_expected = np.maximum(
+            expected_rates * self.bins.width / self.histogram_sampling, 1.0
+        )
+        mean_sampled = float(sampled_expected.mean())
+
+        drift_rng = _rng(cfg.seed, od, _TAG_DRIFT)
+        count_rng = _rng(cfg.seed, od, _TAG_COUNTS)
+        # Benign transients: rare single-bin excursions of one feature's
+        # concentration — detections with no scheduled cause (the
+        # dataset's false-alarm population).
+        glitch_rng = _rng(cfg.seed, od, _TAG_GLITCH)
+        glitches: list[tuple[int, int, float]] = []
+        if cfg.glitch_rate > 0:
+            n_glitches = glitch_rng.poisson(cfg.glitch_rate * t)
+            lo, hi = cfg.glitch_magnitude
+            for _ in range(int(n_glitches)):
+                glitches.append(
+                    (
+                        int(glitch_rng.integers(t)),
+                        int(glitch_rng.integers(N_FEATURES)),
+                        float(glitch_rng.uniform(lo, hi) * glitch_rng.choice([-1, 1])),
+                    )
+                )
+        histograms = []
+        entropy = np.empty((t, N_FEATURES))
+        for k, model in enumerate(cfg.feature_models):
+            gain = drift_rng.uniform(0.7, 1.3)
+            jitter = ar1_series(t, 0.9, model.alpha_sigma, drift_rng)
+            alphas = np.clip(
+                model.alpha + gain * self.global_drift[k] + jitter, 0.05, 3.0
+            )
+            for g_bin, g_feat, g_delta in glitches:
+                if g_feat == k:
+                    alphas[g_bin] = np.clip(alphas[g_bin] + g_delta, 0.05, 3.0)
+            supports = active_support(
+                model.support,
+                sampled_expected,
+                mean_sampled,
+                exponent=model.volume_exponent,
+            )
+            pmf_rows = self._feature_pmf_rows(model, alphas, supports)
+            lam = (packets / self.histogram_sampling)[:, None] * pmf_rows
+            counts = count_rng.poisson(lam).astype(np.int64)
+            histograms.append(counts)
+            entropy[:, k] = entropy_rows(counts)
+
+        bytes_rng = _rng(cfg.seed, od, _TAG_BYTES)
+        size_noise = ar1_series(t, 0.9, cfg.packet_size_sigma, bytes_rng)
+        sizes = cfg.mean_packet_size * np.exp(size_noise - cfg.packet_size_sigma ** 2 / 2)
+        byte_counts = np.round(packets * sizes).astype(np.int64)
+
+        stream = ODStream(
+            od=od,
+            packets=packets,
+            bytes=byte_counts,
+            entropy=entropy,
+            histograms=tuple(histograms),
+        )
+        self._stream_cache[od] = stream
+        if len(self._stream_cache) > self._cache_limit:
+            self._stream_cache.popitem(last=False)
+        return stream
+
+    # -- cube construction -------------------------------------------------
+
+    def generate(self, progress: bool = False) -> TrafficCube:
+        """Generate the full traffic cube for all OD flows."""
+        p = self.topology.n_od_flows
+        cube = TrafficCube.zeros(self.bins, p, network=self.topology.name)
+        for od in range(p):
+            stream = self.od_stream(od)
+            cube.packets[:, od] = stream.packets
+            cube.bytes[:, od] = stream.bytes
+            cube.entropy[:, od, :] = stream.entropy
+            # Streams are regenerable; do not let the cache balloon while
+            # sweeping every OD.
+            self._stream_cache.pop(od, None)
+            if progress and od % 50 == 0:
+                print(f"  generated OD {od}/{p}", flush=True)
+        return cube
+
+    # -- materialisation to real feature values -----------------------------
+
+    def _pool(self, pop_index: int) -> AddressPool:
+        pool = self._pools.get(pop_index)
+        if pool is None:
+            pop = self.topology.pops[pop_index]
+            # Pool size comfortably above the largest per-bin support.
+            n_hosts = 4 * max(m.support for m in self.config.feature_models)
+            pool = AddressPool(
+                pop.prefix, n_hosts, seed=self.config.seed * 1000 + pop_index
+            )
+            self._pools[pop_index] = pool
+        return pool
+
+    def feature_values(self, od: int, feature: int, n: int) -> np.ndarray:
+        """Concrete feature values for ranks ``0..n-1`` of one feature.
+
+        Address ranks map to the origin (srcIP) or destination (dstIP)
+        PoP's host pool; port ranks map to well-known ports first, then
+        ephemeral ports.  Deterministic, so materialised records agree
+        across calls.
+        """
+        origin, destination = self.topology.od_pair(od)
+        if feature == SRC_IP:
+            pool = self._pool(origin.index)
+            return np.resize(pool.addresses, n)
+        if feature == DST_IP:
+            pool = self._pool(destination.index)
+            return np.resize(pool.addresses, n)
+        if feature in (SRC_PORT, DST_PORT):
+            known = well_known_ports()
+            if n <= len(known):
+                return known[:n]
+            extra = EPHEMERAL_PORT_START + np.arange(n - len(known), dtype=np.int64)
+            return np.concatenate([known, extra])
+        raise ValueError(f"feature index out of range: {feature}")
+
+    def materialize_bin(
+        self, od: int, b: int, rng: np.random.Generator | None = None,
+        max_records: int = 4000,
+    ) -> FlowRecordBatch:
+        """Materialise one (OD, bin) as sampled flow records.
+
+        Feature values are drawn per *flow* from the bin's marginal
+        histograms (features independent across flows — sufficient for
+        exercising the record-level pipeline; the cube itself is built
+        from the exact histograms, not from these records).
+        """
+        if rng is None:
+            rng = _rng(self.config.seed, od, 10_000 + b)
+        stream = self.od_stream(od)
+        total_packets = int(stream.packets[b]) // self.histogram_sampling
+        total_packets = max(total_packets, 1)
+        n_records = int(min(max_records, max(1, total_packets // 3)))
+        # Heavy-tailed packets-per-flow, scaled to match the bin total.
+        weights = rng.pareto(1.5, size=n_records) + 1.0
+        pkts = np.maximum(1, np.round(weights * total_packets / weights.sum()))
+        pkts = pkts.astype(np.int64)
+
+        columns: dict[str, np.ndarray] = {}
+        names = ("src_ip", "src_port", "dst_ip", "dst_port")
+        for k, name in enumerate(names):
+            counts = stream.histograms[k][b].astype(np.float64)
+            total = counts.sum()
+            if total <= 0:
+                columns[name] = np.zeros(n_records, dtype=np.int64)
+                continue
+            ranks = rng.choice(len(counts), size=n_records, p=counts / total)
+            values = self.feature_values(od, feature_index_of(name), len(counts))
+            columns[name] = values[ranks]
+        origin, _ = self.topology.od_pair(od)
+        size = self.config.mean_packet_size
+        start = self.bins.bin_start(b)
+        return FlowRecordBatch(
+            src_ip=columns["src_ip"],
+            dst_ip=columns["dst_ip"],
+            src_port=columns["src_port"],
+            dst_port=columns["dst_port"],
+            protocol=np.full(n_records, 6, dtype=np.int64),
+            packets=pkts,
+            bytes=np.round(pkts * size).astype(np.int64),
+            timestamp=start + rng.uniform(0, self.bins.width, size=n_records),
+            ingress_pop=np.full(n_records, origin.index, dtype=np.int64),
+        )
+
+
+def feature_index_of(name: str) -> int:
+    """Index of a feature name in FEATURES (local helper)."""
+    return FEATURES.index(name)

@@ -1,0 +1,125 @@
+"""Terminal visualisation helpers for timeseries and scatter data.
+
+The paper's figures are timeseries, rank histograms, and entropy-space
+scatters.  In a terminal-first reproduction the examples and CLI render
+them as unicode sparklines and character grids — enough to *see* the
+port scan dip/spike of Figure 2 or the clusters of Figure 8 without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "timeseries_panel", "scatter_grid", "histogram_bar"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 72, mark: int | None = None) -> str:
+    """One-line unicode sparkline of a series.
+
+    Args:
+        values: 1-D series.
+        width: Output character width; the series is block-averaged
+            down to it (never upsampled).
+        mark: Optional index in the *original* series to highlight by
+            wrapping its bucket in angle brackets (the anomalous bin);
+            adds two characters to the line.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D series")
+    n = arr.size
+    width = min(width, n)
+    # Block-average into `width` buckets.
+    edges = np.linspace(0, n, width + 1).astype(int)
+    buckets = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    lo, hi = buckets.min(), buckets.max()
+    if hi - lo < 1e-12:
+        line = _SPARK_LEVELS[0] * width
+    else:
+        idx = np.round((buckets - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        line = "".join(_SPARK_LEVELS[int(i)] for i in idx)
+    if mark is not None:
+        if not 0 <= mark < n:
+            raise ValueError("mark outside the series")
+        pos = min(int(mark / n * width), width - 1)
+        # Highlight without erasing the data glyph: wrap the bucket.
+        line = line[:pos] + "⟨" + line[pos] + "⟩" + line[pos + 1 :]
+    return line
+
+
+def timeseries_panel(
+    series: dict[str, np.ndarray], width: int = 72, mark: int | None = None
+) -> str:
+    """Stacked labelled sparklines (the Figure-2 layout)."""
+    if not series:
+        raise ValueError("no series given")
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        lines.append(f"{name:<{label_width}}  {sparkline(values, width, mark)}")
+    return "\n".join(lines)
+
+
+def scatter_grid(
+    x,
+    y,
+    labels=None,
+    width: int = 48,
+    height: int = 18,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Character-grid scatter plot (the Figure-8 layout).
+
+    Points are binned into a width x height grid over [-1.1, 1.1]^2
+    (entropy-space coordinates are unit-norm components).  Cells show
+    the cluster digit when ``labels`` is given (clusters >= 10 wrap to
+    letters), else ``o``; collisions keep the most common label.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    symbols = "0123456789abcdefghijklmnopqrstuvwxyz"
+    grid: list[list[dict]] = [[{} for _ in range(width)] for _ in range(height)]
+    lo, hi = -1.1, 1.1
+    for i in range(x.size):
+        col = int((x[i] - lo) / (hi - lo) * (width - 1))
+        row = int((y[i] - lo) / (hi - lo) * (height - 1))
+        col = min(max(col, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        key = "o" if labels is None else symbols[int(labels[i]) % len(symbols)]
+        cell = grid[row][col]
+        cell[key] = cell.get(key, 0) + 1
+    lines = [f"{y_name} ^"]
+    for row in reversed(range(height)):
+        chars = []
+        for col in range(width):
+            cell = grid[row][col]
+            if not cell:
+                chars.append("·" if (row == height // 2 or col == width // 2) else " ")
+            else:
+                chars.append(max(cell.items(), key=lambda kv: kv[1])[0])
+        lines.append("  |" + "".join(chars))
+    lines.append("  +" + "-" * width + f"> {x_name}")
+    return "\n".join(lines)
+
+
+def histogram_bar(counts, width: int = 60, max_rows: int = 12) -> str:
+    """Horizontal bar chart of a rank-ordered histogram (Figure 1)."""
+    arr = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        return "(empty histogram)"
+    top = arr[:max_rows]
+    peak = top[0]
+    lines = []
+    for rank, value in enumerate(top, start=1):
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"rank {rank:>3}  {bar} {int(value)}")
+    if arr.size > max_rows:
+        lines.append(f"... {arr.size - max_rows} more values, total {int(arr.sum())}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Tests for IPv4 addressing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import (
+    ANONYMIZATION_BITS,
+    AddressPool,
+    Prefix,
+    anonymize,
+    anonymize_array,
+    format_ip,
+    make_ip,
+    mask_low_bits,
+    parse_ip,
+    well_known_ports,
+)
+
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestParseFormat:
+    def test_round_trip_known(self):
+        assert format_ip(parse_ip("10.1.2.3")) == "10.1.2.3"
+
+    def test_parse_known_value(self):
+        assert parse_ip("0.0.0.1") == 1
+        assert parse_ip("1.0.0.0") == 1 << 24
+
+    def test_parse_rejects_bad_quads(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+    @given(ips)
+    @settings(max_examples=60)
+    def test_round_trip_property(self, ip):
+        assert parse_ip(format_ip(ip)) == ip
+
+    def test_make_ip(self):
+        assert make_ip(10, 0, 0, 1) == parse_ip("10.0.0.1")
+        with pytest.raises(ValueError):
+            make_ip(300, 0, 0, 0)
+
+
+class TestAnonymization:
+    def test_mask_low_bits_zeroes_exactly(self):
+        assert mask_low_bits(0xFFFFFFFF, 11) == 0xFFFFF800
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            mask_low_bits(0, 33)
+
+    def test_anonymize_default_is_11_bits(self):
+        ip = parse_ip("10.1.7.255")
+        assert anonymize(ip) == mask_low_bits(ip, ANONYMIZATION_BITS)
+
+    @given(ips)
+    @settings(max_examples=60)
+    def test_anonymize_idempotent(self, ip):
+        assert anonymize(anonymize(ip)) == anonymize(ip)
+
+    @given(ips)
+    @settings(max_examples=60)
+    def test_anonymize_preserves_prefix(self, ip):
+        assert anonymize(ip) >> 11 == ip >> 11
+
+    def test_anonymize_array_matches_scalar(self):
+        arr = np.array([parse_ip("10.1.2.3"), parse_ip("192.168.1.200")])
+        out = anonymize_array(arr)
+        assert out[0] == anonymize(int(arr[0]))
+        assert out[1] == anonymize(int(arr[1]))
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert str(p) == "10.1.0.0/16"
+        assert p.size == 1 << 16
+
+    def test_network_is_masked_on_construction(self):
+        p = Prefix(parse_ip("10.1.2.3"), 16)
+        assert p.network == parse_ip("10.1.0.0")
+
+    def test_contains(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.contains(parse_ip("10.1.255.255"))
+        assert not p.contains(parse_ip("10.2.0.0"))
+
+    def test_contains_array(self):
+        p = Prefix.parse("10.1.0.0/16")
+        arr = np.array([parse_ip("10.1.0.5"), parse_ip("11.0.0.0")])
+        assert list(p.contains_array(arr)) == [True, False]
+
+    def test_nth(self):
+        p = Prefix.parse("10.1.0.0/24")
+        assert p.nth(5) == parse_ip("10.1.0.5")
+        with pytest.raises(ValueError):
+            p.nth(256)
+
+    def test_subnets(self):
+        p = Prefix.parse("10.0.0.0/16")
+        subs = p.subnets(18)
+        assert len(subs) == 4
+        assert all(s.length == 18 for s in subs)
+        assert subs[1].network == parse_ip("10.0.64.0")
+
+    def test_subnets_cannot_widen(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/16").subnets(8)
+
+    def test_parse_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 40)
+
+
+class TestAddressPool:
+    def test_pool_is_deterministic(self):
+        p = Prefix.parse("10.1.0.0/16")
+        a = AddressPool(p, 50, seed=3)
+        b = AddressPool(p, 50, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_pool_addresses_inside_prefix(self):
+        p = Prefix.parse("10.1.0.0/16")
+        pool = AddressPool(p, 100, seed=1)
+        assert all(p.contains(int(ip)) for ip in pool.addresses)
+
+    def test_pool_addresses_distinct(self):
+        pool = AddressPool(Prefix.parse("10.1.0.0/24"), 64, seed=1)
+        assert len(set(pool.addresses.tolist())) == 64
+
+    def test_pool_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPool(Prefix.parse("10.0.0.0/30"), 10, seed=0)
+
+    def test_pool_sampling(self):
+        pool = AddressPool(Prefix.parse("10.1.0.0/16"), 10, seed=0)
+        rng = np.random.default_rng(0)
+        sample = pool.sample(rng, 100)
+        assert len(sample) == 100
+        assert set(sample.tolist()) <= set(pool.addresses.tolist())
+
+
+def test_well_known_ports_contains_paper_services():
+    ports = set(well_known_ports().tolist())
+    # 1433 (MS-SQL worm target), 6667 (IRC), 443 (HTTPS), 80 (HTTP)
+    assert {80, 443, 1433, 6667} <= ports

@@ -1,0 +1,234 @@
+"""Tests for the anomaly zoo: builders, thinning, splitting, outages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomalies.base import AnomalyTrace, FeatureContribution, OutageEvent, TrafficSurge
+from repro.anomalies.builders import (
+    BUILDERS,
+    alpha_flow,
+    ddos,
+    dos_single,
+    flash_crowd,
+    known_traces,
+    network_scan,
+    point_multipoint,
+    port_scan,
+    worm_scan,
+)
+from repro.flows.features import DST_IP, DST_PORT, SRC_IP, SRC_PORT
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFeatureContribution:
+    def test_total_counts_both_kinds(self):
+        c = FeatureContribution(on_background={0: 10}, novel=np.array([5, 5]))
+        assert c.total == 20
+        assert c.n_values == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureContribution(on_background={0: -1})
+        with pytest.raises(ValueError):
+            FeatureContribution(novel=np.array([-1]))
+
+    def test_thin_reduces(self):
+        c = FeatureContribution(on_background={0: 1000}, novel=np.full(10, 100))
+        thinned = c.thin(10, _rng())
+        assert thinned.total < c.total
+        assert thinned.total == pytest.approx(c.total / 10, rel=0.5)
+
+    def test_scale_to_preserves_shape(self):
+        c = FeatureContribution(novel=np.array([1000, 10]))
+        scaled = c.scale_to(101, _rng())
+        assert scaled.total == 101
+        assert scaled.novel[0] > scaled.novel[1]
+
+    def test_scale_to_zero(self):
+        c = FeatureContribution(novel=np.array([5]))
+        assert c.scale_to(0, _rng()).total == 0
+
+    def test_standalone_entropy_single_value(self):
+        c = FeatureContribution(novel=np.array([100]))
+        assert c.standalone_entropy() == 0.0
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_all_builders_produce_consistent_traces(self, name):
+        trace = BUILDERS[name](_rng(1), pps=200.0)
+        assert isinstance(trace, AnomalyTrace)
+        assert trace.packets == 200 * 300
+        assert trace.bytes > 0
+        # Each feature's contribution roughly accounts for the packets.
+        for c in trace.contributions:
+            assert c.total == pytest.approx(trace.packets, rel=0.05)
+
+    def test_alpha_is_concentrated_everywhere(self):
+        trace = alpha_flow(_rng(), pps=100.0)
+        for c in trace.contributions:
+            assert c.n_values == 1
+
+    def test_alpha_nat_disperses_ports(self):
+        trace = alpha_flow(_rng(), pps=100.0, nat=True)
+        assert trace.contributions[SRC_PORT].n_values > 10
+        assert trace.contributions[DST_PORT].n_values > 10
+        assert trace.contributions[SRC_IP].n_values == 1
+
+    def test_dos_single_source_concentration(self):
+        trace = dos_single(_rng(), pps=1000.0)
+        assert trace.contributions[SRC_IP].n_values == 1
+        assert trace.contributions[DST_IP].n_values == 1
+        assert trace.contributions[DST_IP].on_background  # existing victim
+
+    def test_ddos_many_sources_one_victim(self):
+        trace = ddos(_rng(), pps=1000.0, n_sources=200)
+        assert trace.contributions[SRC_IP].n_values > 100
+        assert trace.contributions[DST_IP].n_values == 1
+
+    def test_flash_crowd_targets_web_port(self):
+        trace = flash_crowd(_rng(), pps=500.0)
+        assert trace.contributions[DST_PORT].n_values == 1
+        assert trace.contributions[SRC_IP].n_values > 50
+
+    def test_port_scan_disperses_dst_ports(self):
+        trace = port_scan(_rng(), pps=100.0, n_ports=500)
+        assert trace.contributions[DST_PORT].n_values > 300
+        assert trace.contributions[DST_IP].n_values == 1
+
+    def test_port_scan_variants_differ_in_src_ports(self):
+        dispersed = port_scan(_rng(), pps=100.0, dispersed_src_ports=True)
+        single = port_scan(_rng(), pps=100.0, dispersed_src_ports=False)
+        assert dispersed.contributions[SRC_PORT].n_values > 100
+        assert single.contributions[SRC_PORT].n_values == 1
+
+    def test_network_scan_disperses_dst_ips(self):
+        trace = network_scan(_rng(), pps=100.0, n_targets=800)
+        assert trace.contributions[DST_IP].n_values > 500
+        assert trace.contributions[DST_PORT].n_values == 1
+
+    def test_worm_is_network_scan_special_case(self):
+        trace = worm_scan(_rng(), pps=141.0)
+        assert trace.label == "worm"
+        assert trace.contributions[DST_IP].n_values > 1000
+
+    def test_point_multipoint_disperses_destinations(self):
+        trace = point_multipoint(_rng(), pps=500.0)
+        assert trace.contributions[SRC_IP].n_values == 1
+        assert trace.contributions[DST_IP].n_values > 100
+        assert trace.contributions[DST_PORT].n_values > 100
+
+    def test_zero_pps_rejected(self):
+        with pytest.raises(ValueError):
+            dos_single(_rng(), pps=0.0)
+
+    def test_known_traces_match_paper_intensities(self):
+        traces = known_traces()
+        assert traces["dos"].pps == pytest.approx(3.47e5)
+        assert traces["ddos"].pps == pytest.approx(2.75e4)
+        assert traces["worm"].pps == pytest.approx(141.0)
+
+
+class TestThinning:
+    def test_thin_factor_one_is_identity(self):
+        trace = worm_scan(_rng(), pps=141.0)
+        assert trace.thin(1) is trace
+
+    def test_thin_is_deterministic(self):
+        trace = worm_scan(_rng(), pps=141.0)
+        a = trace.thin(10, seed=5)
+        b = trace.thin(10, seed=5)
+        assert a.packets == b.packets
+        assert np.array_equal(
+            a.contributions[DST_IP].novel, b.contributions[DST_IP].novel
+        )
+
+    @given(st.sampled_from([10, 100, 1000]))
+    @settings(max_examples=10, deadline=None)
+    def test_thin_scales_packets(self, factor):
+        trace = ddos(_rng(3), pps=2.75e4)
+        thinned = trace.thin(factor)
+        assert thinned.packets == pytest.approx(trace.packets / factor, rel=0.2)
+        assert thinned.meta["thinning"] == factor
+
+    def test_thin_preserves_label(self):
+        assert dos_single(_rng()).thin(100).label == "dos"
+
+
+class TestSplitting:
+    def test_split_partitions_sources(self):
+        trace = ddos(_rng(), pps=10_000.0, n_sources=100)
+        parts = trace.split_by_sources(5)
+        assert len(parts) == 5
+        total_sources = sum(len(p.contributions[SRC_IP].novel) for p in parts)
+        assert total_sources == 100
+
+    def test_split_balances_traffic(self):
+        trace = ddos(_rng(), pps=10_000.0, n_sources=200)
+        parts = trace.split_by_sources(4)
+        packets = np.array([p.packets for p in parts])
+        assert packets.sum() == pytest.approx(trace.packets, rel=0.01)
+        assert packets.max() / packets.min() < 1.5
+
+    def test_split_preserves_victim_concentration(self):
+        trace = ddos(_rng(), pps=10_000.0)
+        for part in trace.split_by_sources(3):
+            assert part.contributions[DST_IP].n_values == 1
+
+    def test_split_k1_is_identity(self):
+        trace = ddos(_rng(), pps=1000.0)
+        assert trace.split_by_sources(1) == [trace]
+
+    def test_split_too_many_groups_rejected(self):
+        trace = dos_single(_rng(), pps=100.0)  # one source
+        with pytest.raises(ValueError):
+            trace.split_by_sources(2)
+
+    def test_split_marks_meta(self):
+        parts = ddos(_rng(), pps=5000.0).split_by_sources(3)
+        assert all(p.meta["split"] == 3 for p in parts)
+        assert sorted(p.meta["group"] for p in parts) == [0, 1, 2]
+
+
+class TestOutageAndSurge:
+    def test_outage_kills_head(self):
+        counts = np.array([1000, 800, 600, 10, 10, 10])
+        outage = OutageEvent(head_ranks=3, head_survival=0.0, tail_survival=1.0)
+        out = outage.apply_to_counts(counts)
+        assert list(out) == [0, 0, 0, 10, 10, 10]
+
+    def test_outage_disperses_distribution(self):
+        from repro.core.entropy import sample_entropy
+
+        counts = np.array([10_000, 100, 100, 100, 100])
+        outage = OutageEvent(head_ranks=1, head_survival=0.01, tail_survival=1.0)
+        assert sample_entropy(outage.apply_to_counts(counts)) > sample_entropy(counts)
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError):
+            OutageEvent(head_survival=1.5)
+        with pytest.raises(ValueError):
+            OutageEvent(head_ranks=-1)
+
+    def test_surge_scales_uniformly(self):
+        counts = np.array([100, 50, 10])
+        surge = TrafficSurge(factor=3.0)
+        assert list(surge.apply_to_counts(counts)) == [300, 150, 30]
+
+    def test_surge_preserves_entropy(self):
+        from repro.core.entropy import sample_entropy
+
+        counts = np.array([1000, 500, 100, 7])
+        surge = TrafficSurge(factor=4.0)
+        assert sample_entropy(surge.apply_to_counts(counts)) == pytest.approx(
+            sample_entropy(counts), abs=1e-3
+        )
+
+    def test_surge_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSurge(factor=0.0)

@@ -1,0 +1,122 @@
+"""Tests for the classical volume-baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    EWMADetector,
+    HoltWintersDetector,
+    WaveletVarianceDetector,
+    detect_matrix,
+)
+
+
+def _diurnal_series(days=4, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(days * 288)
+    base = 1000 * (1.2 + np.sin(2 * np.pi * t / 288))
+    return base * (1 + noise * rng.normal(size=t.size))
+
+
+class TestEWMA:
+    def test_flags_injected_spike(self):
+        x = _diurnal_series()
+        x[600] *= 4
+        result = EWMADetector().detect(x)
+        assert result.flags[600]
+
+    def test_clean_series_quiet(self):
+        x = _diurnal_series(noise=0.005)
+        result = EWMADetector(n_sigmas=6.0).detect(x)
+        assert result.flags.mean() < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMADetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMADetector(n_sigmas=0.0)
+        with pytest.raises(ValueError):
+            EWMADetector().detect(np.ones(2))
+
+    def test_scale_robustness_after_anomaly(self):
+        # A huge anomaly must not blind the detector to the next one.
+        x = _diurnal_series()
+        x[500] *= 10
+        x[800] *= 4
+        result = EWMADetector().detect(x)
+        assert result.flags[500] and result.flags[800]
+
+
+class TestHoltWinters:
+    def test_flags_spike_ignores_seasonality(self):
+        x = _diurnal_series(days=5)
+        x[3 * 288 + 100] *= 3
+        result = HoltWintersDetector(season=288).detect(x)
+        assert result.flags[3 * 288 + 100]
+        # The daily peak itself must NOT flag (it is seasonal).
+        daily_peaks = [d * 288 + 72 for d in range(2, 5)]
+        assert not all(result.flags[b] for b in daily_peaks)
+
+    def test_warmup_never_flags(self):
+        x = _diurnal_series(days=3)
+        x[10] *= 100
+        result = HoltWintersDetector(season=288).detect(x)
+        assert not result.flags[:288].any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersDetector(season=1)
+        with pytest.raises(ValueError):
+            HoltWintersDetector(alpha=1.5)
+        with pytest.raises(ValueError):
+            HoltWintersDetector(season=288).detect(np.ones(300))
+
+    def test_tracks_level_shift(self):
+        # After a permanent level shift the detector re-adapts: the
+        # shift bin flags, the steady state afterwards calms down.
+        x = _diurnal_series(days=6)
+        x[4 * 288:] *= 1.5
+        result = HoltWintersDetector(season=288).detect(x)
+        tail = result.flags[5 * 288 + 144:]
+        assert tail.mean() < 0.5
+
+
+class TestWavelet:
+    def test_flags_spike(self):
+        x = _diurnal_series()
+        x[512] *= 5
+        result = WaveletVarianceDetector().detect(x)
+        # The spike lands within one dyadic block of 512.
+        assert result.flags[504:520].any()
+
+    def test_clean_quiet(self):
+        x = _diurnal_series(noise=0.005, seed=3)
+        result = WaveletVarianceDetector(n_sigmas=8.0).detect(x)
+        assert result.flags.mean() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaveletVarianceDetector(levels=0)
+        with pytest.raises(ValueError):
+            WaveletVarianceDetector(levels=3).detect(np.ones(8))
+
+    def test_haar_orthonormality(self):
+        x = np.array([4.0, 2.0, 6.0, 8.0])
+        approx, detail = WaveletVarianceDetector._haar_details(x)
+        # Energy preservation: ||x||^2 = ||approx||^2 + ||detail||^2
+        assert (approx ** 2).sum() + (detail ** 2).sum() == pytest.approx(
+            (x ** 2).sum()
+        )
+
+
+class TestDetectMatrix:
+    def test_unions_across_columns(self):
+        x = np.tile(_diurnal_series(), (2, 1)).T.copy()
+        x[700, 0] *= 4
+        x[900, 1] *= 4
+        flags = detect_matrix(EWMADetector(), x)
+        assert flags[700] and flags[900]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            detect_matrix(EWMADetector(), np.ones(10))

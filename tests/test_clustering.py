@@ -1,0 +1,206 @@
+"""Tests for the from-scratch clustering algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    agreement_rate,
+    choose_k_curves,
+    cluster_variation,
+    hierarchical,
+    kmeans,
+    pairwise_distances,
+    relabel_by_size,
+)
+
+
+def _blobs(n_per=30, centers=((0, 0), (10, 0), (0, 10)), spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    labels = []
+    for i, c in enumerate(centers):
+        points.append(rng.normal(c, spread, size=(n_per, len(c))))
+        labels += [i] * n_per
+    return np.vstack(points), np.array(labels)
+
+
+def _pure(labels_a, labels_b):
+    """Whether two labelings induce the same partition."""
+    return agreement_rate(labels_a, labels_b) == 1.0
+
+
+class TestPairwiseDistances:
+    def test_matches_norm(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        D = pairwise_distances(X)
+        for i in range(10):
+            for j in range(10):
+                assert D[i, j] == pytest.approx(np.linalg.norm(X[i] - X[j]), abs=1e-7)
+
+    def test_diagonal_zero_and_symmetric(self):
+        X = np.random.default_rng(1).normal(size=(15, 3))
+        D = pairwise_distances(X)
+        assert np.allclose(np.diag(D), 0.0)
+        assert np.allclose(D, D.T)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, truth = _blobs()
+        result = kmeans(X, 3, rng=0)
+        assert _pure(result.labels, truth)
+
+    def test_inertia_decreases_with_k(self):
+        X, _ = _blobs()
+        inertias = [kmeans(X, k, rng=0).inertia for k in (1, 2, 3, 5)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        X = np.random.default_rng(0).normal(size=(8, 2))
+        result = kmeans(X, 8, rng=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one_center_is_mean(self):
+        X, _ = _blobs()
+        result = kmeans(X, 1, rng=0)
+        assert np.allclose(result.centers[0], X.mean(axis=0))
+
+    def test_bounds(self):
+        X, _ = _blobs(n_per=2)
+        with pytest.raises(ValueError):
+            kmeans(X, 0)
+        with pytest.raises(ValueError):
+            kmeans(X, len(X) + 1)
+
+    def test_deterministic_given_seed(self):
+        X, _ = _blobs()
+        a = kmeans(X, 3, rng=42)
+        b = kmeans(X, 3, rng=42)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_labels_within_range(self):
+        X, _ = _blobs()
+        result = kmeans(X, 4, rng=0)
+        assert set(result.labels.tolist()) <= set(range(4))
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((10, 3))
+        result = kmeans(X, 2, rng=0)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_blobs_all_linkages(self, linkage):
+        X, truth = _blobs()
+        result = hierarchical(X, 3, linkage=linkage)
+        assert _pure(result.labels, truth)
+
+    def test_k_one(self):
+        X, _ = _blobs()
+        result = hierarchical(X, 1)
+        assert result.k == 1
+        assert np.all(result.labels == 0)
+
+    def test_k_equals_n(self):
+        X = np.random.default_rng(0).normal(size=(6, 2))
+        result = hierarchical(X, 6)
+        assert len(set(result.labels.tolist())) == 6
+
+    def test_single_linkage_joins_nearest_first(self):
+        # Points on a line: 0, 1, 10 -> with k=2 the pair {0,1} merges.
+        X = np.array([[0.0], [1.0], [10.0]])
+        result = hierarchical(X, 2, linkage="single")
+        assert result.labels[0] == result.labels[1] != result.labels[2]
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError):
+            hierarchical(np.ones((4, 2)), 2, linkage="median")
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            hierarchical(np.ones((4, 2)), 5)
+
+    def test_sizes_sum_to_n(self):
+        X, _ = _blobs()
+        result = hierarchical(X, 4)
+        assert result.sizes().sum() == len(X)
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_exactly_k_clusters(self, k):
+        X, _ = _blobs(n_per=10, seed=k)
+        result = hierarchical(X, k)
+        assert result.k == k
+        assert len(set(result.labels.tolist())) == k
+
+
+class TestClusterVariation:
+    def test_w_plus_b_equals_total(self):
+        X, labels = _blobs()
+        w, b = cluster_variation(X, labels)
+        assert w + b == pytest.approx(float((X ** 2).sum()))
+
+    def test_perfect_clusters_have_small_w(self):
+        X, labels = _blobs(spread=0.01)
+        w, b = cluster_variation(X, labels)
+        assert w < 0.01 * b
+
+    def test_single_cluster(self):
+        X, _ = _blobs()
+        w, b = cluster_variation(X, np.zeros(len(X), dtype=int))
+        # B reduces to n * ||mean||^2
+        assert b == pytest.approx(len(X) * float((X.mean(axis=0) ** 2).sum()))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_variation(np.ones((4, 2)), np.zeros(3))
+
+
+class TestChooseK:
+    def test_within_decreases_with_k(self):
+        X, _ = _blobs()
+        curves = choose_k_curves(X, (2, 3, 5, 8), algorithm="hierarchical")
+        ws = [curves[k][0] for k in (2, 3, 5, 8)]
+        assert all(a >= b - 1e-6 for a, b in zip(ws, ws[1:]))
+
+    def test_knee_at_true_k(self):
+        X, _ = _blobs(spread=0.05)
+        curves = choose_k_curves(X, (2, 3, 4, 6), algorithm="kmeans", rng=0)
+        # Going 2->3 should explain far more than 3->4.
+        drop_23 = curves[2][0] - curves[3][0]
+        drop_34 = curves[3][0] - curves[4][0]
+        assert drop_23 > 10 * drop_34
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            choose_k_curves(np.ones((5, 2)), (2,), algorithm="dbscan")
+
+
+class TestRelabelAndAgreement:
+    def test_relabel_by_size_orders_descending(self):
+        labels = np.array([2, 2, 2, 0, 0, 1])
+        out = relabel_by_size(labels)
+        sizes = np.bincount(out)
+        assert np.all(np.diff(sizes) <= 0)
+        assert _pure(labels, out)
+
+    def test_agreement_identical(self):
+        labels = np.array([0, 1, 0, 2])
+        assert agreement_rate(labels, labels) == 1.0
+
+    def test_agreement_permuted_labels(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert agreement_rate(a, b) == 1.0
+
+    def test_agreement_opposite(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert agreement_rate(a, b) < 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            agreement_rate(np.zeros(3), np.zeros(4))

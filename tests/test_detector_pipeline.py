@@ -1,0 +1,100 @@
+"""Integration tests for the end-to-end diagnosis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import AnomalyDiagnosis
+from repro.datasets.labeled import make_labeled_dataset
+from repro.net.topology import abilene
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # Half a week keeps the fixture fast while leaving dozens of events.
+    return make_labeled_dataset(abilene(), weeks=0.5, seed=77)
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    diag = AnomalyDiagnosis(alpha=0.999, n_clusters=6)
+    return diag.diagnose(dataset.cube, labels_by_bin=dataset.labels_by_bin)
+
+
+class TestDiagnosisReport:
+    def test_counts_consistent(self, report):
+        counts = report.counts()
+        assert counts["total"] == (
+            counts["volume_only"] + counts["entropy_only"] + counts["both"]
+        )
+        assert counts["total"] > 0
+
+    def test_bin_sets_consistent(self, report):
+        vol = set(report.volume_bins.tolist())
+        ent = set(report.entropy_bins.tolist())
+        assert set(report.both_bins.tolist()) == vol & ent
+        assert set(report.volume_only_bins.tolist()) == vol - ent
+        assert set(report.entropy_only_bins.tolist()) == ent - vol
+
+    def test_every_entropy_anomaly_has_unit_vector(self, report):
+        for anom in report.anomalies:
+            if anom.detected_by_entropy:
+                assert np.linalg.norm(anom.unit_vector) == pytest.approx(1.0, abs=1e-6)
+                assert anom.cluster >= 0
+
+    def test_volume_only_anomalies_have_no_vector(self, report):
+        for anom in report.anomalies:
+            if not anom.detected_by_entropy:
+                assert np.all(anom.unit_vector == 0)
+                assert anom.cluster == -1
+
+    def test_labels_attached_from_ground_truth(self, dataset, report):
+        labeled = [a for a in report.anomalies if a.label not in ("", "unknown")]
+        assert labeled  # at least some detections match scheduled events
+        for anom in labeled:
+            assert dataset.labels_by_bin[anom.bin] == anom.label
+
+    def test_detection_quality(self, dataset, report):
+        detected = {a.bin for a in report.anomalies}
+        scheduled = {e.bin for e in dataset.schedule.events}
+        recall = len(detected & scheduled) / len(scheduled)
+        assert recall > 0.5
+        precision = len(detected & scheduled) / max(len(detected), 1)
+        assert precision > 0.7
+
+    def test_identified_ods_mostly_correct(self, dataset, report):
+        hits = 0
+        total = 0
+        for anom in report.anomalies:
+            if not anom.detected_by_entropy or anom.od < 0:
+                continue
+            event = dataset.event_at(anom.bin)
+            if event is None or len(event.ods) != 1:
+                continue
+            total += 1
+            hits += anom.od == event.ods[0]
+        assert total > 0
+        assert hits / total > 0.7
+
+    def test_clusters_present_and_summarised(self, report):
+        assert report.clustering is not None
+        assert report.clusters
+        assert report.clusters[0].size >= report.clusters[-1].size
+
+
+class TestDiagnosisConfig:
+    def test_kmeans_path(self, dataset):
+        diag = AnomalyDiagnosis(cluster_algorithm="kmeans", n_clusters=4)
+        rep = diag.diagnose(dataset.cube, classify=True)
+        assert rep.clustering is not None
+        assert rep.clustering.algorithm == "kmeans"
+
+    def test_unknown_cluster_algorithm(self, dataset):
+        diag = AnomalyDiagnosis(cluster_algorithm="spectral")
+        with pytest.raises(ValueError):
+            diag.diagnose(dataset.cube)
+
+    def test_classify_false_skips_clustering(self, dataset):
+        diag = AnomalyDiagnosis()
+        rep = diag.diagnose(dataset.cube, classify=False)
+        assert rep.clustering is None
+        assert rep.clusters == []

@@ -1,0 +1,125 @@
+"""Tests for the alternative dispersion metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispersion import (
+    DISPERSION_METRICS,
+    distinct_count,
+    gini_coefficient,
+    metric_rows,
+    normalized_distinct,
+    renyi_entropy,
+    simpson_index,
+    top_k_share,
+)
+from repro.core.entropy import sample_entropy
+
+counts_lists = st.lists(st.integers(0, 10_000), min_size=1, max_size=100)
+
+
+class TestRenyi:
+    def test_order_one_is_shannon(self):
+        counts = [5, 3, 2, 9]
+        assert renyi_entropy(counts, q=1.0) == pytest.approx(sample_entropy(counts))
+
+    def test_uniform_is_log_n(self):
+        assert renyi_entropy([3] * 16, q=2.0) == pytest.approx(4.0)
+
+    def test_point_mass_is_zero(self):
+        assert renyi_entropy([100], q=2.0) == 0.0
+
+    @given(counts_lists)
+    @settings(max_examples=40)
+    def test_renyi2_below_shannon(self, counts):
+        # Renyi entropy is non-increasing in q.
+        h2 = renyi_entropy(counts, q=2.0)
+        h1 = sample_entropy(counts)
+        assert h2 <= h1 + 1e-9
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            renyi_entropy([1], q=-1.0)
+
+    def test_relates_to_simpson(self):
+        counts = [10, 5, 1, 1]
+        assert renyi_entropy(counts, q=2.0) == pytest.approx(
+            -np.log2(simpson_index(counts))
+        )
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([7] * 20 ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_increases_gini(self):
+        assert gini_coefficient([100, 1, 1, 1]) > gini_coefficient([4, 3, 3, 2])
+
+    def test_single_value(self):
+        assert gini_coefficient([42]) == 0.0
+
+    @given(counts_lists)
+    @settings(max_examples=40)
+    def test_bounds(self, counts):
+        g = gini_coefficient(counts)
+        assert -1e-9 <= g < 1.0
+
+
+class TestSimpsonAndShares:
+    def test_simpson_uniform(self):
+        assert simpson_index([2, 2, 2, 2]) == pytest.approx(0.25)
+
+    def test_simpson_point_mass(self):
+        assert simpson_index([9]) == 1.0
+
+    def test_top_k_share(self):
+        assert top_k_share([6, 3, 1], k=1) == pytest.approx(0.6)
+        assert top_k_share([6, 3, 1], k=2) == pytest.approx(0.9)
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_share([1], k=0)
+
+    def test_distinct_counts(self):
+        assert distinct_count([5, 0, 1, 0]) == 2.0
+        assert normalized_distinct([1, 1, 1]) == pytest.approx(1.0)
+        assert normalized_distinct([300]) == pytest.approx(1 / 300)
+        assert normalized_distinct([0]) == 0.0
+
+
+class TestRegistryAndRows:
+    def test_all_registered_metrics_run(self):
+        counts = np.array([10, 5, 2, 1, 0])
+        for name, func in DISPERSION_METRICS.items():
+            value = func(counts)
+            assert np.isfinite(value), name
+
+    def test_metric_rows_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 50, size=(10, 20))
+        for name in DISPERSION_METRICS:
+            rows = metric_rows(counts, name)
+            for i in range(10):
+                assert rows[i] == pytest.approx(
+                    DISPERSION_METRICS[name](counts[i]), abs=1e-9
+                ), name
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            metric_rows(np.ones((2, 2)), "kurtosis")
+
+    @given(counts_lists)
+    @settings(max_examples=30)
+    def test_orientations_agree_on_extremes(self, counts):
+        # For any histogram, the concentration metrics and entropy must
+        # order the histogram consistently against its own "flattened"
+        # version (all mass spread uniformly over the same support).
+        arr = np.array([c for c in counts if c > 0])
+        if arr.size < 2 or arr.sum() < arr.size:
+            return
+        flat = np.full(arr.size, int(arr.sum() // arr.size))
+        assert sample_entropy(flat) >= sample_entropy(arr) - 1e-9 or (
+            simpson_index(flat) <= simpson_index(arr) + 1e-9
+        )

@@ -1,0 +1,128 @@
+"""Unit and property tests for sample entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import (
+    entropy_from_probabilities,
+    entropy_rows,
+    max_entropy,
+    normalized_entropy,
+    sample_entropy,
+)
+
+counts_lists = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200)
+
+
+class TestSampleEntropy:
+    def test_uniform_distribution_hits_log2_n(self):
+        assert sample_entropy([5, 5, 5, 5]) == pytest.approx(2.0)
+
+    def test_single_value_is_zero(self):
+        assert sample_entropy([42]) == 0.0
+
+    def test_empty_histogram_is_zero(self):
+        assert sample_entropy([]) == 0.0
+
+    def test_all_zero_counts_is_zero(self):
+        assert sample_entropy([0, 0, 0]) == 0.0
+
+    def test_zero_counts_are_ignored(self):
+        assert sample_entropy([3, 0, 3]) == pytest.approx(sample_entropy([3, 3]))
+
+    def test_known_value_two_to_one(self):
+        # H = -(2/3 log2 2/3 + 1/3 log2 1/3)
+        expected = -(2 / 3) * np.log2(2 / 3) - (1 / 3) * np.log2(1 / 3)
+        assert sample_entropy([2, 1]) == pytest.approx(expected)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            sample_entropy([1, -1])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            sample_entropy(np.ones((2, 2)))
+
+    @given(counts_lists)
+    @settings(max_examples=80)
+    def test_bounds(self, counts):
+        h = sample_entropy(counts)
+        n_pos = sum(1 for c in counts if c > 0)
+        assert 0.0 <= h <= max_entropy(n_pos) + 1e-9
+
+    @given(counts_lists)
+    @settings(max_examples=50)
+    def test_scale_invariance(self, counts):
+        h1 = sample_entropy(counts)
+        h2 = sample_entropy([c * 7 for c in counts])
+        assert h1 == pytest.approx(h2, abs=1e-9)
+
+    @given(counts_lists)
+    @settings(max_examples=50)
+    def test_permutation_invariance(self, counts):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(counts))
+        assert sample_entropy(counts) == pytest.approx(
+            sample_entropy(np.asarray(counts)[perm]), abs=1e-9
+        )
+
+    def test_concentration_decreases_entropy(self):
+        dispersed = sample_entropy([10, 10, 10, 10])
+        concentrated = sample_entropy([37, 1, 1, 1])
+        assert concentrated < dispersed
+
+
+class TestEntropyHelpers:
+    def test_entropy_from_probabilities_uniform(self):
+        assert entropy_from_probabilities([0.25] * 4) == pytest.approx(2.0)
+
+    def test_entropy_from_probabilities_requires_normalization(self):
+        with pytest.raises(ValueError):
+            entropy_from_probabilities([0.5, 0.2])
+
+    def test_entropy_from_probabilities_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy_from_probabilities([1.5, -0.5])
+
+    def test_max_entropy_values(self):
+        assert max_entropy(0) == 0.0
+        assert max_entropy(1) == 0.0
+        assert max_entropy(8) == pytest.approx(3.0)
+
+    def test_max_entropy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            max_entropy(-1)
+
+    def test_normalized_entropy_in_unit_interval(self):
+        assert normalized_entropy([5, 5]) == pytest.approx(1.0)
+        assert normalized_entropy([100, 1]) < 1.0
+        assert normalized_entropy([7]) == 0.0
+
+
+class TestEntropyRows:
+    def test_matches_scalar_entropy_per_row(self):
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 100, size=(20, 30))
+        rows = entropy_rows(counts)
+        for i in range(20):
+            assert rows[i] == pytest.approx(sample_entropy(counts[i]), abs=1e-9)
+
+    def test_zero_rows_have_zero_entropy(self):
+        counts = np.zeros((3, 5))
+        assert np.all(entropy_rows(counts) == 0.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            entropy_rows(np.ones(4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy_rows(np.array([[1.0, -2.0]]))
+
+    @given(st.integers(2, 40), st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_uniform_rows(self, n, t):
+        counts = np.full((t, n), 3)
+        assert np.allclose(entropy_rows(counts), np.log2(n))

@@ -1,0 +1,111 @@
+"""Unit tests for the pure helper functions inside experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.anonymization_check import merge_ranks
+from repro.experiments.fig5_detection_rate import Fig5Point, Fig5Result
+from repro.experiments.fig6_multiflow import Fig6Point, Fig6Result
+from repro.experiments.fig7_known_clusters import _best_assignment_errors
+from repro.experiments.fig10_cluster_selection import knee_of
+from repro.experiments.table4_traces import Table4Row, verify_intensities
+
+
+class TestMergeRanks:
+    def test_preserves_total(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 100, size=(5, 17))
+        merged = merge_ranks(counts, group=4, perm=rng.permutation(17))
+        assert merged.sum() == counts.sum()
+
+    def test_output_width(self):
+        counts = np.ones((2, 10), dtype=int)
+        merged = merge_ranks(counts, group=4, perm=np.arange(10))
+        assert merged.shape == (2, 3)  # ceil(10/4)
+
+    def test_group_one_is_permutation(self):
+        counts = np.arange(12).reshape(2, 6)
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        merged = merge_ranks(counts, group=1, perm=perm)
+        assert np.array_equal(merged, counts[:, perm])
+
+    def test_merging_reduces_entropy(self):
+        from repro.core.entropy import entropy_rows
+
+        rng = np.random.default_rng(1)
+        counts = rng.integers(1, 50, size=(4, 64))
+        merged = merge_ranks(counts, group=8, perm=rng.permutation(64))
+        assert np.all(entropy_rows(merged) < entropy_rows(counts))
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            merge_ranks(np.ones((2, 4)), group=0, perm=np.arange(4))
+
+
+class TestKneeOf:
+    def test_sharp_knee(self):
+        curve = {2: (100.0, 0.0), 4: (10.0, 0.0), 8: (9.0, 0.0), 16: (8.0, 0.0)}
+        assert knee_of(curve) == 4
+
+    def test_flat_curve(self):
+        curve = {2: (5.0, 0.0), 4: (5.0, 0.0)}
+        assert knee_of(curve) == 2
+
+    def test_gradual_curve_prefers_late_k(self):
+        curve = {k: (float(100 - 10 * i), 0.0) for i, k in enumerate((2, 4, 6, 8, 10))}
+        assert knee_of(curve, fraction=0.85) >= 8
+
+
+class TestAssignmentErrors:
+    def test_perfect_assignment(self):
+        labels = ["dos"] * 3 + ["ddos"] * 3 + ["worm"] * 3
+        clusters = np.array([0] * 3 + [1] * 3 + [2] * 3)
+        assert _best_assignment_errors(labels, clusters) == 0
+
+    def test_permuted_clusters_still_perfect(self):
+        labels = ["dos", "ddos", "worm"]
+        clusters = np.array([2, 0, 1])
+        assert _best_assignment_errors(labels, clusters) == 0
+
+    def test_one_error(self):
+        labels = ["dos", "dos", "ddos", "worm"]
+        clusters = np.array([0, 1, 1, 2])
+        assert _best_assignment_errors(labels, clusters) == 1
+
+
+class TestCurveAccessors:
+    def test_fig5_curves_sorted_and_filtered(self):
+        result = Fig5Result(points=[
+            Fig5Point("worm", 100, 1.41, 0.999, 0.0, 0.3, 121),
+            Fig5Point("worm", 1, 141.0, 0.999, 0.1, 1.0, 121),
+            Fig5Point("dos", 1, 3.47e5, 0.999, 1.0, 1.0, 121),
+            Fig5Point("worm", 1, 141.0, 0.995, 0.2, 1.0, 121),
+        ])
+        curve = result.curve("worm", 0.999, "combined")
+        assert curve == [(1, 1.0), (100, 0.3)]
+        vol = result.curve("worm", 0.999, "volume")
+        assert vol == [(1, 0.1), (100, 0.0)]
+
+    def test_fig6_curúnica(self):
+        result = Fig6Result(points=[
+            Fig6Point(2, 1000, 0.999, 0.5, 13.8, 220),
+            Fig6Point(2, 1, 0.999, 1.0, 13750.0, 220),
+            Fig6Point(11, 1000, 0.999, 1.0, 2.5, 11),
+        ])
+        assert result.curve(2, 0.999) == [(1, 1.0), (1000, 0.5)]
+        assert result.curve(11, 0.999) == [(1000, 1.0)]
+
+
+class TestTable4Verification:
+    def _rows(self, dos_pps):
+        return [
+            Table4Row("dos", dos_pps, 1, 1, 1, "x"),
+            Table4Row("ddos", 2.75e4, 1, 500, 1, "x"),
+            Table4Row("worm", 141.0, 1, 1, 3000, "x"),
+        ]
+
+    def test_accepts_paper_values(self):
+        assert verify_intensities(self._rows(3.47e5))
+
+    def test_rejects_wrong_intensity(self):
+        assert not verify_intensities(self._rows(2.0e5))

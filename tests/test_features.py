@@ -1,0 +1,141 @@
+"""Tests for feature histograms and per-bin aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.features import (
+    DST_IP,
+    DST_PORT,
+    FEATURES,
+    N_FEATURES,
+    SRC_IP,
+    SRC_PORT,
+    BinFeatures,
+    FeatureHistogram,
+    feature_index,
+)
+from repro.flows.records import FlowRecordBatch
+
+
+class TestFeatureOrder:
+    def test_paper_vector_layout(self):
+        # h = [H(srcIP), H(srcPort), H(dstIP), H(dstPort)] per Section 4.2
+        assert FEATURES == ("src_ip", "src_port", "dst_ip", "dst_port")
+        assert (SRC_IP, SRC_PORT, DST_IP, DST_PORT) == (0, 1, 2, 3)
+        assert N_FEATURES == 4
+
+    def test_feature_index(self):
+        assert feature_index("dst_port") == DST_PORT
+        with pytest.raises(ValueError):
+            feature_index("ttl")
+
+
+class TestFeatureHistogram:
+    def test_add_and_total(self):
+        h = FeatureHistogram()
+        h.add(80, 10)
+        h.add(443, 5)
+        h.add(80, 2)
+        assert h.total == 17
+        assert h.n_distinct == 2
+        assert h[80] == 12
+        assert h[9999] == 0
+
+    def test_zero_add_ignored(self):
+        h = FeatureHistogram()
+        h.add(80, 0)
+        assert h.n_distinct == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureHistogram().add(80, -1)
+        with pytest.raises(ValueError):
+            FeatureHistogram({80: -2})
+
+    def test_from_values_weighted(self):
+        h = FeatureHistogram.from_values([1, 2, 1], weights=[10, 1, 5])
+        assert h[1] == 15 and h[2] == 1
+
+    def test_merge(self):
+        a = FeatureHistogram({1: 2, 2: 3})
+        b = FeatureHistogram({2: 1, 3: 9})
+        merged = a.merge(b)
+        assert merged.as_dict() == {1: 2, 2: 4, 3: 9}
+        # Originals untouched
+        assert a[2] == 3 and b[3] == 9
+
+    def test_scale(self):
+        h = FeatureHistogram({1: 100, 2: 1})
+        scaled = h.scale(0.1)
+        assert scaled[1] == 10
+        assert scaled[2] == 0  # rounds away
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FeatureHistogram({1: 1}).scale(-0.5)
+
+    def test_rank_ordered_descending(self):
+        h = FeatureHistogram({1: 5, 2: 50, 3: 1})
+        assert list(h.rank_ordered()) == [50, 5, 1]
+
+    def test_entropy_matches_definition(self):
+        h = FeatureHistogram({1: 1, 2: 1, 3: 1, 4: 1})
+        assert h.entropy() == pytest.approx(2.0)
+
+    def test_top(self):
+        h = FeatureHistogram({1: 5, 2: 50, 3: 1})
+        assert h.top(1) == [(2, 50)]
+
+    def test_equality(self):
+        assert FeatureHistogram({1: 2}) == FeatureHistogram({1: 2})
+        assert FeatureHistogram({1: 2}) != FeatureHistogram({1: 3})
+
+    @given(st.dictionaries(st.integers(0, 100), st.integers(1, 1000), max_size=30))
+    @settings(max_examples=40)
+    def test_merge_totals_add(self, counts):
+        a = FeatureHistogram(counts)
+        b = FeatureHistogram(counts)
+        assert a.merge(b).total == 2 * a.total
+
+
+class TestBinFeatures:
+    def _batch(self):
+        return FlowRecordBatch(
+            src_ip=np.array([1, 1, 2]),
+            dst_ip=np.array([9, 9, 9]),
+            src_port=np.array([1000, 1001, 1002]),
+            dst_port=np.array([80, 80, 443]),
+            protocol=np.full(3, 6),
+            packets=np.array([10, 5, 1]),
+            bytes=np.array([1000, 500, 100]),
+            timestamp=np.zeros(3),
+            ingress_pop=np.zeros(3),
+        )
+
+    def test_from_batch_packet_weighted(self):
+        bf = BinFeatures.from_batch(self._batch())
+        assert bf.packets == 16
+        assert bf.bytes == 1600
+        assert bf.histogram("src_ip")[1] == 15
+        assert bf.histogram("dst_ip")[9] == 16
+        assert bf.histogram(DST_PORT)[80] == 15
+
+    def test_entropies_vector_shape_and_order(self):
+        bf = BinFeatures.from_batch(self._batch())
+        e = bf.entropies()
+        assert e.shape == (4,)
+        # dst_ip is fully concentrated -> zero entropy
+        assert e[DST_IP] == 0.0
+        assert e[SRC_PORT] > 0
+
+    def test_merge(self):
+        bf = BinFeatures.from_batch(self._batch())
+        merged = bf.merge(bf)
+        assert merged.packets == 32
+        assert merged.histogram("src_ip")[1] == 30
+
+    def test_wrong_histogram_count_rejected(self):
+        with pytest.raises(ValueError):
+            BinFeatures(histograms=(FeatureHistogram(),))

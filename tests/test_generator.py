@@ -1,0 +1,182 @@
+"""Tests for the synthetic traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.flows.binning import TimeBins
+from repro.flows.features import N_FEATURES
+from repro.net.topology import abilene
+from repro.traffic.generator import FeatureModel, GeneratorConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def small_gen():
+    return TrafficGenerator(abilene(), TimeBins.for_days(0.5), seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_cube(small_gen):
+    return small_gen.generate()
+
+
+class TestGeneratorBasics:
+    def test_cube_shapes(self, small_cube):
+        t, p = small_cube.n_bins, small_cube.n_od_flows
+        assert (t, p) == (144, 121)
+        assert small_cube.entropy.shape == (144, 121, N_FEATURES)
+
+    def test_volumes_positive(self, small_cube):
+        assert np.all(small_cube.packets >= 1)
+        assert np.all(small_cube.bytes > 0)
+
+    def test_entropy_within_bounds(self, small_cube):
+        # Supports are <= 2*96=192 -> entropy < log2(192) ~ 7.6
+        assert np.all(small_cube.entropy >= 0)
+        assert np.all(small_cube.entropy < 8.5)
+
+    def test_mean_od_rate_near_config(self, small_cube):
+        assert small_cube.mean_od_pps() == pytest.approx(2068, rel=0.35)
+
+    def test_network_name(self, small_cube):
+        assert small_cube.network == "Abilene"
+
+
+class TestDeterminism:
+    def test_regenerated_stream_is_identical(self, small_gen, small_cube):
+        od = 17
+        stream = small_gen.od_stream(od)
+        small_gen._stream_cache.clear()
+        again = small_gen.od_stream(od)
+        for a, b in zip(stream.histograms, again.histograms):
+            assert np.array_equal(a, b)
+        assert np.array_equal(stream.packets, again.packets)
+
+    def test_stream_matches_cube(self, small_gen, small_cube):
+        od = 33
+        stream = small_gen.od_stream(od)
+        assert np.allclose(stream.entropy, small_cube.entropy[:, od, :])
+        assert np.allclose(stream.packets, small_cube.packets[:, od])
+        assert np.allclose(stream.bytes, small_cube.bytes[:, od])
+
+    def test_two_generators_same_seed_agree(self):
+        bins = TimeBins.for_days(0.25)
+        a = TrafficGenerator(abilene(), bins, seed=3).generate()
+        b = TrafficGenerator(abilene(), bins, seed=3).generate()
+        assert np.array_equal(a.entropy, b.entropy)
+        assert np.array_equal(a.packets, b.packets)
+
+    def test_different_seeds_differ(self):
+        bins = TimeBins.for_days(0.25)
+        a = TrafficGenerator(abilene(), bins, seed=3).generate()
+        b = TrafficGenerator(abilene(), bins, seed=4).generate()
+        assert not np.array_equal(a.packets, b.packets)
+
+    def test_histogram_entropy_consistency(self, small_gen):
+        from repro.core.entropy import sample_entropy
+
+        stream = small_gen.od_stream(5)
+        for k in range(N_FEATURES):
+            assert stream.entropy[40, k] == pytest.approx(
+                sample_entropy(stream.histograms[k][40]), abs=1e-9
+            )
+
+
+class TestStatisticalProperties:
+    def test_low_dimensionality(self, small_cube):
+        """Normal traffic must be PCA-compressible (the paper's premise)."""
+        from repro.core.multiway import MultiwaySubspaceDetector
+
+        det = MultiwaySubspaceDetector(identify=False).fit(small_cube.entropy)
+        assert det.model.pca.variance_captured(10) > 0.9
+
+    def test_diurnal_cycle_in_volume(self):
+        gen = TrafficGenerator(abilene(), TimeBins.for_days(2), seed=5)
+        stream = gen.od_stream(0)
+        day1 = stream.packets[:288].astype(float)
+        day2 = stream.packets[288:].astype(float)
+        corr = np.corrcoef(day1, day2)[0, 1]
+        assert corr > 0.7  # strong daily periodicity
+
+    def test_entropy_volume_coupling(self, small_gen):
+        """Entropy should co-vary with volume (paper Section 3)."""
+        stream = small_gen.od_stream(2)
+        corr = np.corrcoef(stream.packets, stream.entropy[:, 0])[0, 1]
+        assert corr > 0.2
+
+    def test_volume_exponent_zero_fixes_support(self):
+        models = tuple(
+            FeatureModel(support=m.support, alpha=m.alpha, kind=m.kind,
+                         volume_exponent=0.0)
+            for m in GeneratorConfig().feature_models
+        )
+        cfg = GeneratorConfig(feature_models=models, seed=9)
+        gen = TrafficGenerator(abilene(), TimeBins.for_days(0.5), config=cfg)
+        stream = gen.od_stream(2)
+        # With the coupling off, the active support never exceeds the base.
+        assert stream.histograms[0].shape[1] == models[0].support
+
+    def test_default_volume_exponent_varies_support(self, small_gen):
+        stream = small_gen.od_stream(2)
+        # Diurnal volume swings activate more (or fewer) feature values.
+        assert stream.histograms[0].shape[1] > 96
+
+    def test_gravity_spread_across_ods(self, small_cube):
+        means = small_cube.packets.mean(axis=0)
+        assert means.max() / means.min() > 5
+
+
+class TestMaterialization:
+    def test_records_have_right_od_and_bin(self, small_gen):
+        topo = abilene()
+        od = topo.od_index("STTL", "NYCM")
+        batch = small_gen.materialize_bin(od, 10)
+        assert len(batch) > 0
+        origin, dest = topo.od_pair(od)
+        assert np.all(batch.ingress_pop == origin.index)
+        assert np.all(batch.timestamp >= small_gen.bins.bin_start(10))
+        assert np.all(batch.timestamp < small_gen.bins.bin_start(10) + 300.0)
+        # Destination addresses come from the destination PoP's prefix pool.
+        assert np.all(dest.prefix.contains_array(batch.dst_ip))
+
+    def test_feature_values_deterministic(self, small_gen):
+        a = small_gen.feature_values(3, 0, 50)
+        b = small_gen.feature_values(3, 0, 50)
+        assert np.array_equal(a, b)
+
+    def test_feature_values_ports_start_well_known(self, small_gen):
+        ports = small_gen.feature_values(3, 1, 30)
+        assert 80 in ports.tolist()
+
+    def test_feature_values_bad_index(self, small_gen):
+        with pytest.raises(ValueError):
+            small_gen.feature_values(3, 9, 10)
+
+
+class TestConfigValidation:
+    def test_wrong_model_count(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(feature_models=(FeatureModel(support=8, alpha=1.0),))
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(mean_od_pps=0)
+
+    def test_feature_model_validation(self):
+        with pytest.raises(ValueError):
+            FeatureModel(support=2, alpha=1.0)
+        with pytest.raises(ValueError):
+            FeatureModel(support=8, alpha=-1.0)
+        with pytest.raises(ValueError):
+            FeatureModel(support=8, alpha=1.0, kind="weird")
+
+    def test_scaled(self):
+        cfg = GeneratorConfig().scaled(2.0)
+        assert cfg.mean_od_pps == pytest.approx(2 * 2068.0)
+
+    def test_glitches_disabled_by_zero_rate(self):
+        from dataclasses import replace
+
+        bins = TimeBins.for_days(0.25)
+        base = GeneratorConfig(seed=6, glitch_rate=0.0)
+        cube = TrafficGenerator(abilene(), bins, config=base).generate()
+        assert cube.n_bins == 72

@@ -1,0 +1,175 @@
+"""Tests for anomaly injection into traffic cubes."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies.base import FeatureContribution, OutageEvent, TrafficSurge
+from repro.anomalies.builders import ddos, port_scan, worm_scan
+from repro.anomalies.injector import (
+    InjectionScorer,
+    combined_counts,
+    inject_outage,
+    inject_trace,
+    injected_bin_state,
+    outage_bin_state,
+)
+from repro.flows.binning import TimeBins
+from repro.flows.features import DST_IP, DST_PORT, SRC_PORT
+from repro.net.topology import abilene
+from repro.traffic.generator import TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TrafficGenerator(abilene(), TimeBins.for_days(1.5), seed=21)
+
+
+@pytest.fixture(scope="module")
+def cube(gen):
+    return gen.generate()
+
+
+@pytest.fixture(scope="module")
+def scorer(cube, gen):
+    return InjectionScorer(cube, gen, alphas=(0.999, 0.995))
+
+
+class TestCombinedCounts:
+    def test_background_rank_addition(self):
+        bg = np.array([100, 50, 10])
+        contrib = FeatureContribution(on_background={1: 5})
+        out = combined_counts(bg, contrib)
+        assert list(out) == [100, 55, 10]
+
+    def test_novel_appended(self):
+        bg = np.array([10])
+        contrib = FeatureContribution(novel=np.array([3, 4]))
+        assert list(combined_counts(bg, contrib)) == [10, 3, 4]
+
+    def test_overflow_rank_becomes_novel(self):
+        bg = np.array([10])
+        contrib = FeatureContribution(on_background={5: 7})
+        out = combined_counts(bg, contrib)
+        assert list(out) == [10, 7]
+
+    def test_background_unmodified(self):
+        bg = np.array([10, 20])
+        combined_counts(bg, FeatureContribution(on_background={0: 5}))
+        assert list(bg) == [10, 20]
+
+
+class TestInjectedBinState:
+    def test_port_scan_moves_entropy_correctly(self, gen):
+        stream = gen.od_stream(3)
+        b = 100
+        hists = tuple(h[b] for h in stream.histograms)
+        trace = port_scan(np.random.default_rng(0), pps=500.0, victim_rank=0)
+        entropy, packets, byte_count = injected_bin_state(
+            hists, stream.packets[b], stream.bytes[b], trace
+        )
+        assert entropy[DST_PORT] > stream.entropy[b, DST_PORT]  # dispersal
+        assert entropy[DST_IP] < stream.entropy[b, DST_IP]      # concentration
+        assert packets == stream.packets[b] + trace.packets
+        assert byte_count == stream.bytes[b] + trace.bytes
+
+    def test_worm_disperses_dst_ips(self, gen):
+        stream = gen.od_stream(3)
+        b = 50
+        hists = tuple(h[b] for h in stream.histograms)
+        trace = worm_scan(np.random.default_rng(0), pps=200.0)
+        entropy, _, _ = injected_bin_state(
+            hists, stream.packets[b], stream.bytes[b], trace
+        )
+        assert entropy[DST_IP] > stream.entropy[b, DST_IP]
+        assert entropy[SRC_PORT] > stream.entropy[b, SRC_PORT]
+
+
+class TestOutageBinState:
+    def test_outage_reduces_volume_and_disperses(self, gen):
+        stream = gen.od_stream(5)
+        b = 60
+        hists = tuple(h[b] for h in stream.histograms)
+        outage = OutageEvent(head_ranks=10, head_survival=0.02, tail_survival=0.6)
+        entropy, packets, byte_count = outage_bin_state(
+            hists, stream.bytes[b], outage, background_packets=stream.packets[b]
+        )
+        assert packets < stream.packets[b]
+        assert byte_count < stream.bytes[b]
+        assert entropy[0] > stream.entropy[b, 0]  # head killed -> dispersal
+
+    def test_surge_increases_volume_keeps_entropy(self, gen):
+        stream = gen.od_stream(5)
+        b = 60
+        hists = tuple(h[b] for h in stream.histograms)
+        surge = TrafficSurge(factor=4.0)
+        entropy, packets, byte_count = outage_bin_state(
+            hists, stream.bytes[b], surge, background_packets=stream.packets[b]
+        )
+        assert packets > 3 * stream.packets[b]
+        assert np.allclose(entropy, stream.entropy[b], atol=0.08)
+
+
+class TestInPlaceInjection:
+    def test_inject_trace_only_touches_target(self, cube, gen):
+        dirty = cube.copy()
+        trace = port_scan(np.random.default_rng(1), pps=300.0)
+        inject_trace(dirty, gen, od=7, b=40, trace=trace)
+        delta = np.abs(dirty.entropy - cube.entropy)
+        assert delta[40, 7].max() > 0
+        delta[40, 7] = 0
+        assert delta.max() == 0
+
+    def test_inject_outage_touches_all_listed_ods(self, cube, gen):
+        dirty = cube.copy()
+        outage = OutageEvent(head_survival=0.0, tail_survival=0.2)
+        inject_outage(dirty, gen, ods=[2, 9], b=30, outage=outage)
+        assert dirty.packets[30, 2] < cube.packets[30, 2]
+        assert dirty.packets[30, 9] < cube.packets[30, 9]
+        assert dirty.packets[30, 3] == cube.packets[30, 3]
+
+
+class TestInjectionScorer:
+    def test_clean_bin_not_detected(self, scorer):
+        out = scorer.score(200, [])
+        assert not out.detected_entropy and not out.detected_volume
+
+    def test_strong_ddos_detected_both(self, scorer):
+        trace = ddos(np.random.default_rng(0), pps=2.75e4)
+        out = scorer.score(200, [(5, trace)])
+        assert out.detected_entropy and out.detected_volume
+
+    def test_low_volume_scan_entropy_only(self, scorer):
+        trace = port_scan(np.random.default_rng(0), pps=120.0)
+        out = scorer.score(200, [(5, trace)])
+        assert out.detected_entropy
+        assert not out.detected_volume
+
+    def test_alpha_must_be_configured(self, scorer):
+        with pytest.raises(ValueError):
+            scorer.score(200, [], alpha=0.9)
+
+    def test_looser_alpha_detects_at_least_as_much(self, scorer):
+        trace = worm_scan(np.random.default_rng(2), pps=141.0).thin(10)
+        strict = sum(
+            scorer.score(200, [(od, trace)], alpha=0.999).detected_any
+            for od in range(0, 121, 10)
+        )
+        loose = sum(
+            scorer.score(200, [(od, trace)], alpha=0.995).detected_any
+            for od in range(0, 121, 10)
+        )
+        assert loose >= strict
+
+    def test_multi_flow_scoring_combines(self, scorer):
+        trace = ddos(np.random.default_rng(1), pps=2.75e4).thin(100)
+        parts = trace.split_by_sources(4)
+        topo = abilene()
+        injections = [(topo.od_index(o, 3), part) for o, part in zip((0, 1, 2, 4), parts)]
+        combined = scorer.score(200, injections)
+        assert combined.spe_entropy > scorer.score(200, [injections[0]]).spe_entropy
+
+    def test_entropy_vector_sign_structure_for_scan(self, scorer):
+        trace = port_scan(np.random.default_rng(3), pps=300.0)
+        vec = scorer.entropy_vector(200, 8, trace)
+        assert vec[DST_PORT] > 0   # dispersed dst ports
+        assert vec[DST_IP] < 0     # concentrated dst address

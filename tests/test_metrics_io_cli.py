@@ -1,0 +1,175 @@
+"""Tests for detection metrics, persistence, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.detector import AnomalyDiagnosis
+from repro.core.metrics import (
+    ConfusionCounts,
+    alpha_sweep,
+    auc_of_sweep,
+    score_detections,
+)
+from repro.datasets.labeled import make_labeled_dataset
+from repro.flows.binning import TimeBins
+from repro.io import (
+    load_cube,
+    report_summary,
+    report_to_rows,
+    save_cube,
+    write_report_csv,
+    write_report_json,
+)
+from repro.net.topology import abilene
+from repro.traffic.generator import TrafficGenerator
+
+
+class TestScoreDetections:
+    def test_perfect_detection(self):
+        counts = score_detections([3, 7], [3, 7], n_bins=10)
+        assert counts.precision == 1.0 and counts.recall == 1.0
+        assert counts.true_negatives == 8
+
+    def test_false_positive(self):
+        counts = score_detections([3, 4], [3], n_bins=10)
+        assert counts.false_positives == 1
+        assert counts.precision == 0.5
+
+    def test_missed(self):
+        counts = score_detections([], [5], n_bins=10)
+        assert counts.recall == 0.0
+        assert counts.precision == 1.0  # vacuous
+        assert counts.false_negatives == 1
+
+    def test_tolerance_window(self):
+        counts = score_detections([6], [5], n_bins=10, tolerance=1)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 0
+        strict = score_detections([6], [5], n_bins=10, tolerance=0)
+        assert strict.true_positives == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            score_detections([10], [1], n_bins=10)
+
+    def test_f1_and_false_alarm_rate(self):
+        counts = ConfusionCounts(
+            true_positives=8, false_positives=2, false_negatives=2, true_negatives=88
+        )
+        assert counts.f1 == pytest.approx(0.8)
+        assert counts.false_alarm_rate == pytest.approx(2 / 90)
+
+
+class TestAlphaSweep:
+    def test_monotone_recall_in_alpha(self):
+        rng = np.random.default_rng(0)
+        spe = rng.exponential(size=500)
+        truth = np.argsort(spe)[-10:]  # the biggest SPEs are the anomalies
+        sweep = alpha_sweep(
+            spe, lambda a: np.quantile(spe, a), truth, alphas=(0.9, 0.99, 0.999)
+        )
+        recalls = [c.recall for _, c in sweep]
+        assert recalls[0] >= recalls[-1]
+
+    def test_auc_perfect_detector(self):
+        spe = np.zeros(100)
+        truth = [5, 9]
+        spe[truth] = 10.0
+        sweep = alpha_sweep(
+            spe, lambda a: 5.0 * a, truth, alphas=(0.5, 0.9)
+        )
+        assert auc_of_sweep(sweep) == pytest.approx(1.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return make_labeled_dataset(abilene(), weeks=0.15, seed=9)
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tiny_dataset):
+    return AnomalyDiagnosis(n_clusters=4).diagnose(
+        tiny_dataset.cube, labels_by_bin=tiny_dataset.labels_by_bin
+    )
+
+
+class TestCubeIO:
+    def test_round_trip(self, tmp_path):
+        gen = TrafficGenerator(abilene(), TimeBins.for_days(0.2), seed=2)
+        cube = gen.generate()
+        path = save_cube(cube, tmp_path / "cube")
+        loaded = load_cube(path)
+        assert np.array_equal(loaded.entropy, cube.entropy)
+        assert np.array_equal(loaded.packets, cube.packets)
+        assert loaded.network == cube.network
+        assert loaded.bins.width == cube.bins.width
+
+    def test_suffix_added(self, tmp_path):
+        gen = TrafficGenerator(abilene(), TimeBins.for_days(0.1), seed=2)
+        path = save_cube(gen.generate(), tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+
+class TestReportExport:
+    def test_rows_cover_all_anomalies(self, tiny_report):
+        rows = report_to_rows(tiny_report)
+        assert len(rows) == len(tiny_report.anomalies)
+        assert all("bin" in row for row in rows)
+
+    def test_csv_export(self, tiny_report, tmp_path):
+        path = write_report_csv(tiny_report, tmp_path / "report.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("bin,od,")
+        assert len(lines) == len(tiny_report.anomalies) + 1
+
+    def test_json_summary(self, tiny_report, tmp_path):
+        path = write_report_json(tiny_report, tmp_path / "report.json")
+        data = json.loads(path.read_text())
+        assert data["counts"] == tiny_report.counts()
+        assert len(data["clusters"]) == len(tiny_report.clusters)
+
+    def test_summary_serialisable(self, tiny_report):
+        json.dumps(report_summary(tiny_report))
+
+
+class TestCLI:
+    def test_parser_rejects_unknown_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_then_detect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cube_path = str(tmp_path / "cube.npz")
+        assert main(["generate", "--weeks", "0.1", "--seed", "4",
+                     "--output", cube_path]) == 0
+        assert main(["detect", "--cube", cube_path,
+                     "--csv", str(tmp_path / "out.csv")]) == 0
+        out = capsys.readouterr().out
+        assert "detections:" in out
+        assert (tmp_path / "out.csv").exists()
+
+    def test_generate_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["generate", "--weeks", "0.05", "--clean",
+                     "--output", str(tmp_path / "clean.npz")]) == 0
+        assert "saved Abilene cube" in capsys.readouterr().out
+
+    def test_inject_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["inject", "--type", "port_scan", "--pps", "200",
+                     "--days", "0.5", "--bin", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "entropy detection" in out
+
+    def test_experiment_command_table4(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Tests for the multiway subspace method (unfolding, normalisation, detection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiway import (
+    MultiwaySubspaceDetector,
+    fold_row,
+    normalize_unit_energy,
+    unfold,
+)
+from repro.flows.features import N_FEATURES
+
+
+def _entropy_tensor(t=400, p=12, noise=0.01, seed=0):
+    """Low-dimensional synthetic entropy tensor (t, p, 4)."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(4, 7, size=(p, N_FEATURES))
+    daily = np.sin(2 * np.pi * np.arange(t) / 288)[:, None, None]
+    gains = rng.uniform(0.2, 0.5, size=(p, N_FEATURES))
+    tensor = base[None] + daily * gains[None] + noise * rng.normal(size=(t, p, N_FEATURES))
+    return tensor
+
+
+class TestUnfold:
+    def test_shape(self):
+        tensor = _entropy_tensor(t=10, p=3)
+        H = unfold(tensor)
+        assert H.shape == (10, 12)
+
+    def test_block_layout_matches_paper(self):
+        # Columns [k*p, (k+1)*p) must hold feature k for all p OD flows.
+        tensor = _entropy_tensor(t=5, p=4)
+        H = unfold(tensor)
+        p = 4
+        for k in range(N_FEATURES):
+            assert np.array_equal(H[:, k * p : (k + 1) * p], tensor[:, :, k])
+
+    def test_fold_row_inverts_unfold(self):
+        tensor = _entropy_tensor(t=3, p=5)
+        H = unfold(tensor)
+        for t in range(3):
+            assert np.allclose(fold_row(H[t], 5), tensor[t])
+
+    def test_unfold_requires_3d(self):
+        with pytest.raises(ValueError):
+            unfold(np.ones((3, 4)))
+
+    def test_fold_row_length_check(self):
+        with pytest.raises(ValueError):
+            fold_row(np.ones(10), 3)
+
+    @given(st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=20)
+    def test_unfold_fold_property(self, t, p):
+        rng = np.random.default_rng(t * 100 + p)
+        tensor = rng.normal(size=(t, p, N_FEATURES))
+        H = unfold(tensor)
+        rebuilt = np.stack([fold_row(H[i], p) for i in range(t)])
+        assert np.allclose(rebuilt, tensor)
+
+
+class TestNormalization:
+    def test_variance_mode_unit_energy(self):
+        tensor = _entropy_tensor(t=50, p=6)
+        H = unfold(tensor)
+        Hn, scales = normalize_unit_energy(H, 6, mode="variance")
+        for j in range(N_FEATURES):
+            block = Hn[:, j * 6 : (j + 1) * 6]
+            energy = np.linalg.norm(block - block.mean(axis=0))
+            assert energy == pytest.approx(1.0)
+
+    def test_raw_mode_unit_energy(self):
+        tensor = _entropy_tensor(t=50, p=6)
+        H = unfold(tensor)
+        Hn, _ = normalize_unit_energy(H, 6, mode="raw")
+        for j in range(N_FEATURES):
+            block = Hn[:, j * 6 : (j + 1) * 6]
+            assert np.linalg.norm(block) == pytest.approx(1.0)
+
+    def test_scales_invert(self):
+        H = unfold(_entropy_tensor(t=20, p=4))
+        Hn, scales = normalize_unit_energy(H, 4)
+        rebuilt = Hn.copy()
+        for j, s in enumerate(scales):
+            rebuilt[:, j * 4 : (j + 1) * 4] *= s
+        assert np.allclose(rebuilt, H)
+
+    def test_zero_block_left_alone(self):
+        H = np.zeros((10, 8))
+        Hn, scales = normalize_unit_energy(H, 2)
+        assert np.all(Hn == 0)
+        assert np.all(scales == 1.0)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            normalize_unit_energy(np.ones((4, 8)), 2, mode="bogus")
+
+    def test_equal_feature_influence(self):
+        # A feature measured in wildly larger units must not dominate
+        # after normalisation.
+        tensor = _entropy_tensor(t=100, p=5)
+        tensor[:, :, 0] *= 1000.0
+        Hn, _ = normalize_unit_energy(unfold(tensor), 5, mode="variance")
+        energies = [
+            np.linalg.norm(Hn[:, j * 5 : (j + 1) * 5] - Hn[:, j * 5 : (j + 1) * 5].mean(axis=0))
+            for j in range(N_FEATURES)
+        ]
+        assert max(energies) / min(energies) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMultiwayDetector:
+    def test_detects_single_flow_multifeature_shift(self):
+        tensor = _entropy_tensor()
+        dirty = tensor.copy()
+        dirty[200, 3, 2] += 1.5   # dstIP disperses
+        dirty[200, 3, 3] -= 1.2   # dstPort concentrates
+        det = MultiwaySubspaceDetector(n_components=5).fit(tensor)
+        detections = det.detect(dirty)
+        assert any(d.bin == 200 for d in detections)
+
+    def test_identification_finds_the_right_flow(self):
+        tensor = _entropy_tensor()
+        dirty = tensor.copy()
+        dirty[200, 7, 2] += 2.0
+        dirty[200, 7, 3] -= 1.5
+        det = MultiwaySubspaceDetector(n_components=5).fit(tensor)
+        detections = [d for d in det.detect(dirty) if d.bin == 200]
+        assert detections and detections[0].primary_od == 7
+
+    def test_entropy_vector_sign_structure(self):
+        tensor = _entropy_tensor()
+        dirty = tensor.copy()
+        dirty[100, 2, 2] += 2.0
+        dirty[100, 2, 3] -= 2.0
+        det = MultiwaySubspaceDetector(n_components=5).fit(tensor)
+        hits = [d for d in det.detect(dirty) if d.bin == 100]
+        vec = hits[0].entropy_vector()
+        assert vec[2] > 0 and vec[3] < 0
+
+    def test_clean_data_few_detections(self):
+        tensor = _entropy_tensor(t=800)
+        det = MultiwaySubspaceDetector(n_components=5)
+        detections = det.fit_detect(tensor)
+        assert len(detections) <= 8
+
+    def test_score_requires_fit(self):
+        det = MultiwaySubspaceDetector()
+        with pytest.raises(RuntimeError):
+            det.score(_entropy_tensor(t=5))
+
+    def test_shape_mismatch_rejected(self):
+        det = MultiwaySubspaceDetector(n_components=5).fit(_entropy_tensor(p=12))
+        with pytest.raises(ValueError):
+            det.score(_entropy_tensor(t=5, p=13))
+
+    def test_multi_flow_anomaly_identified_recursively(self):
+        tensor = _entropy_tensor()
+        dirty = tensor.copy()
+        for od in (1, 9):
+            dirty[300, od, 0] += 2.0
+            dirty[300, od, 2] -= 2.0
+        det = MultiwaySubspaceDetector(n_components=5, max_identified_flows=4).fit(tensor)
+        hits = [d for d in det.detect(dirty) if d.bin == 300]
+        found = {f.od for f in hits[0].flows}
+        assert {1, 9} <= found

@@ -1,0 +1,110 @@
+"""Tests for the online extensions (streaming detector, incremental classifier)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineClassifier, OnlineMultiwayDetector
+from repro.flows.features import N_FEATURES
+
+
+def _tensor(t=600, p=10, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(4, 7, size=(p, N_FEATURES))
+    daily = np.sin(2 * np.pi * np.arange(t) / 288)[:, None, None]
+    gains = rng.uniform(0.2, 0.5, size=(p, N_FEATURES))
+    return base[None] + daily * gains[None] + noise * rng.normal(size=(t, p, N_FEATURES))
+
+
+class TestOnlineMultiwayDetector:
+    def test_requires_warm_up(self):
+        det = OnlineMultiwayDetector(window=100)
+        with pytest.raises(RuntimeError):
+            det.observe(np.zeros((10, N_FEATURES)))
+
+    def test_clean_stream_rarely_fires(self):
+        full = _tensor(t=600)  # one process; first 500 bins warm up
+        history, future = full[:500], full[500:]
+        det = OnlineMultiwayDetector(window=400, n_components=5, refit_every=0)
+        det.warm_up(history)
+        hits = sum(det.observe(obs) is not None for obs in future)
+        assert hits <= 5
+
+    def test_detects_anomalous_bin(self):
+        history = _tensor(t=500)
+        det = OnlineMultiwayDetector(window=400, n_components=5)
+        det.warm_up(history)
+        obs = history[-1].copy()
+        obs[4, 2] += 2.0
+        obs[4, 3] -= 1.5
+        hit = det.observe(obs)
+        assert hit is not None
+        assert hit.flows and hit.flows[0].od == 4
+
+    def test_bin_counter_advances(self):
+        history = _tensor(t=200)
+        det = OnlineMultiwayDetector(window=100, n_components=3)
+        det.warm_up(history)
+        first = det.observe(history[-1])
+        second = det.observe(history[-2])
+        # Clean observations return None but the counter still advances;
+        # force detections to read the counter.
+        obs = history[-1].copy()
+        obs[0] += 3.0
+        hit = det.observe(obs)
+        assert hit is not None
+        assert hit.bin == 202
+
+    def test_shape_mismatch_rejected(self):
+        det = OnlineMultiwayDetector(window=100, n_components=3)
+        det.warm_up(_tensor(t=200))
+        with pytest.raises(ValueError):
+            det.observe(np.zeros((3, N_FEATURES)))
+
+    def test_periodic_refit_keeps_working(self):
+        history = _tensor(t=300)
+        det = OnlineMultiwayDetector(window=200, n_components=4, refit_every=20)
+        det.warm_up(history)
+        stream = _tensor(t=60, seed=2)
+        for obs in stream:
+            det.observe(obs)
+        assert det.is_warm
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError):
+            OnlineMultiwayDetector(window=2)
+
+
+class TestOnlineClassifier:
+    def test_assign_to_nearest(self):
+        centroids = np.array(
+            [[1.0, 0, 0, 0], [0, 1.0, 0, 0]]
+        )
+        clf = OnlineClassifier(centroids, spawn_distance=0.8)
+        assert clf.assign(np.array([0.95, 0.05, 0, 0])) == 0
+        assert clf.assign(np.array([0.05, 0.9, 0, 0])) == 1
+
+    def test_spawn_new_cluster(self):
+        centroids = np.array([[1.0, 0, 0, 0]])
+        clf = OnlineClassifier(centroids, spawn_distance=0.5)
+        new = clf.assign(np.array([0, 0, 0, 1.0]))
+        assert new == 1
+        assert clf.n_clusters == 2
+
+    def test_running_mean_update(self):
+        clf = OnlineClassifier(np.array([[1.0, 0, 0, 0]]), spawn_distance=2.0)
+        clf.assign(np.array([0.0, 1.0, 0, 0]))
+        # centroid moved halfway toward the new point
+        assert np.allclose(clf.centroids[0], [0.5, 0.5, 0, 0])
+
+    def test_update_false_freezes_centroids(self):
+        clf = OnlineClassifier(np.array([[1.0, 0, 0, 0]]), spawn_distance=2.0)
+        before = clf.centroids.copy()
+        clf.assign(np.array([0.0, 1.0, 0, 0]), update=False)
+        assert np.array_equal(clf.centroids, before)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            OnlineClassifier(np.ones((2, 3)))
+        clf = OnlineClassifier(np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            clf.assign(np.ones(3))

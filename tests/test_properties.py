@@ -1,0 +1,129 @@
+"""Cross-module property-based tests on core invariants.
+
+These tie together components whose contracts the experiments rely on:
+entropy/injection algebra, subspace geometry, thinning, and the
+unfold/identify round trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomalies.base import AnomalyTrace, FeatureContribution
+from repro.anomalies.injector import combined_counts, injected_bin_state
+from repro.core.entropy import sample_entropy
+from repro.core.identification import identify_flows, theta_columns
+from repro.core.multiway import fold_row, normalize_unit_energy, unfold
+from repro.core.subspace import PCAModel, SubspaceModel
+from repro.flows.features import N_FEATURES
+
+histograms = st.lists(st.integers(1, 10_000), min_size=2, max_size=60)
+
+
+class TestInjectionAlgebra:
+    @given(histograms, st.lists(st.integers(1, 5_000), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_novel_injection_total_is_additive(self, bg, novel):
+        contrib = FeatureContribution(novel=np.array(novel))
+        out = combined_counts(np.array(bg), contrib)
+        assert out.sum() == sum(bg) + sum(novel)
+
+    @given(histograms, st.integers(0, 59), st.integers(1, 100_000))
+    @settings(max_examples=50)
+    def test_background_injection_total_is_additive(self, bg, rank, count):
+        contrib = FeatureContribution(on_background={rank: count})
+        out = combined_counts(np.array(bg), contrib)
+        assert out.sum() == sum(bg) + count
+
+    @given(histograms)
+    @settings(max_examples=40)
+    def test_massive_concentration_drives_entropy_down(self, bg):
+        bg_arr = np.array(bg)
+        # Injecting 100x the background mass onto one value must reduce
+        # entropy below the background's.
+        contrib = FeatureContribution(on_background={0: int(bg_arr.sum()) * 100})
+        out = combined_counts(bg_arr, contrib)
+        assert sample_entropy(out) < max(sample_entropy(bg_arr), 0.2)
+
+    @given(histograms, st.integers(2, 12))
+    @settings(max_examples=40)
+    def test_uniform_dispersal_drives_entropy_up(self, bg, spread_factor):
+        bg_arr = np.array(bg)
+        n_new = len(bg_arr) * spread_factor
+        per_value = max(1, int(bg_arr.sum()) // len(bg_arr))
+        contrib = FeatureContribution(novel=np.full(n_new, per_value))
+        out = combined_counts(bg_arr, contrib)
+        assert sample_entropy(out) > sample_entropy(bg_arr)
+
+    def test_injected_bin_state_consistency(self):
+        rng = np.random.default_rng(0)
+        hists = tuple(rng.integers(1, 100, size=30) for _ in range(N_FEATURES))
+        trace = AnomalyTrace(
+            label="alpha",
+            contributions=tuple(
+                FeatureContribution(novel=np.array([500])) for _ in range(N_FEATURES)
+            ),
+            packets=500,
+            bytes=50_000,
+        )
+        entropy, packets, byte_count = injected_bin_state(hists, 1000, 100_000, trace)
+        assert packets == 1500
+        assert byte_count == 150_000
+        for k in range(N_FEATURES):
+            assert entropy[k] == pytest.approx(
+                sample_entropy(np.concatenate([hists[k], [500]]))
+            )
+
+
+class TestSubspaceGeometry:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_pythagoras(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 12))
+        model = SubspaceModel.fit(X, n_components=4)
+        centered = X - model.pca.mean
+        P = model.normal_basis
+        normal_norms = ((centered @ P) ** 2).sum(axis=1)
+        residual_norms = model.spe(X)
+        total = (centered ** 2).sum(axis=1)
+        assert np.allclose(normal_norms + residual_norms, total, rtol=1e-8)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_invariance_of_spectrum(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 8))
+        Q, _ = np.linalg.qr(rng.normal(size=(8, 8)))
+        eig_a = PCAModel.fit(X).eigenvalues
+        eig_b = PCAModel.fit(X @ Q).eigenvalues
+        assert np.allclose(np.sort(eig_a), np.sort(eig_b), rtol=1e-6)
+
+
+class TestUnfoldIdentifyRoundTrip:
+    @given(st.integers(3, 10), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_identification_recovers_planted_flow(self, p, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(N_FEATURES * p, 2))
+        P, _ = np.linalg.qr(A)
+        target = int(rng.integers(p))
+        h = np.zeros(N_FEATURES * p)
+        h[theta_columns(target, p)] = rng.uniform(1.0, 3.0, size=N_FEATURES)
+        flows = identify_flows(h, P, p, threshold=1e-9, max_flows=1)
+        assert flows and flows[0].od == target
+
+    @given(st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_normalized_unfold_preserves_fold(self, p, seed):
+        rng = np.random.default_rng(seed)
+        tensor = rng.uniform(1, 8, size=(12, p, N_FEATURES))
+        H = unfold(tensor)
+        Hn, scales = normalize_unit_energy(H, p)
+        # Undo normalisation, fold back, compare.
+        rebuilt = Hn.copy()
+        for j, s in enumerate(scales):
+            rebuilt[:, j * p : (j + 1) * p] *= s
+        for t in range(12):
+            assert np.allclose(fold_row(rebuilt[t], p), tensor[t], rtol=1e-9)

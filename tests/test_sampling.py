@@ -1,0 +1,118 @@
+"""Tests for packet sampling and thinning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.records import FlowRecordBatch
+from repro.flows.sampling import PacketSampler, thin_batch, thin_counts
+
+
+class TestThinCounts:
+    def test_factor_one_is_identity(self):
+        rng = np.random.default_rng(0)
+        counts = np.array([5, 0, 100])
+        assert np.array_equal(thin_counts(counts, 1, rng), counts)
+
+    def test_periodic_keeps_floor_at_least(self):
+        rng = np.random.default_rng(0)
+        counts = np.array([1000, 2000, 50])
+        out = thin_counts(counts, 10, rng)
+        assert np.all(out >= counts // 10)
+        assert np.all(out <= counts // 10 + 1)
+
+    def test_binomial_mean_close(self):
+        rng = np.random.default_rng(0)
+        counts = np.full(2000, 1000)
+        out = thin_counts(counts, 10, rng, mode="binomial")
+        assert out.mean() == pytest.approx(100, rel=0.05)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            thin_counts(np.array([1]), 0, np.random.default_rng(0))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            thin_counts(np.array([1]), 2, np.random.default_rng(0), mode="nope")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            thin_counts(np.array([-1]), 2, np.random.default_rng(0))
+
+    @given(
+        st.lists(st.integers(0, 100_000), min_size=1, max_size=50),
+        st.sampled_from([2, 7, 100, 1000]),
+        st.sampled_from(["periodic", "binomial"]),
+    )
+    @settings(max_examples=60)
+    def test_thinning_never_increases(self, counts, factor, mode):
+        rng = np.random.default_rng(1)
+        out = thin_counts(np.array(counts), factor, rng, mode=mode)
+        assert np.all(out <= np.array(counts))
+        assert np.all(out >= 0)
+
+    @given(st.integers(1, 10_000), st.sampled_from([10, 100]))
+    @settings(max_examples=40)
+    def test_periodic_expectation(self, count, factor):
+        # Mean over many draws approaches count/factor.
+        rng = np.random.default_rng(0)
+        draws = thin_counts(np.full(400, count), factor, rng)
+        assert draws.mean() == pytest.approx(count / factor, abs=max(1.0, 0.15 * count / factor))
+
+
+class TestThinBatch:
+    def _batch(self, packets):
+        n = len(packets)
+        return FlowRecordBatch(
+            src_ip=np.arange(n), dst_ip=np.arange(n),
+            src_port=np.zeros(n), dst_port=np.zeros(n),
+            protocol=np.full(n, 6), packets=np.array(packets),
+            bytes=np.array(packets) * 100, timestamp=np.zeros(n),
+            ingress_pop=np.zeros(n),
+        )
+
+    def test_zero_packet_records_vanish(self):
+        batch = self._batch([1, 1, 1, 1000])
+        rng = np.random.default_rng(0)
+        out = thin_batch(batch, 1000, rng)
+        assert len(out) <= len(batch)
+        assert np.all(out.packets > 0)
+
+    def test_bytes_scale_with_packets(self):
+        batch = self._batch([1000])
+        rng = np.random.default_rng(0)
+        out = thin_batch(batch, 10, rng)
+        ratio = out.bytes[0] / batch.bytes[0]
+        assert ratio == pytest.approx(out.packets[0] / 1000, abs=1e-6)
+
+    def test_factor_one_identity(self):
+        batch = self._batch([5, 7])
+        assert thin_batch(batch, 1, np.random.default_rng(0)) is batch
+
+    def test_empty_batch(self):
+        batch = FlowRecordBatch.empty()
+        assert len(thin_batch(batch, 10, np.random.default_rng(0))) == 0
+
+
+class TestPacketSampler:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PacketSampler(0)
+
+    def test_sampling_reduces_by_rate(self):
+        sampler = PacketSampler(100, seed=1)
+        counts = np.full(1000, 10_000)
+        out = sampler.sample_counts(counts)
+        assert out.mean() == pytest.approx(100, rel=0.05)
+
+    def test_sample_batch_matches_thin(self):
+        sampler = PacketSampler(10, seed=2)
+        batch = FlowRecordBatch(
+            src_ip=np.arange(5), dst_ip=np.arange(5), src_port=np.zeros(5),
+            dst_port=np.zeros(5), protocol=np.full(5, 6),
+            packets=np.full(5, 100), bytes=np.full(5, 10_000),
+            timestamp=np.zeros(5), ingress_pop=np.zeros(5),
+        )
+        out = sampler.sample_batch(batch)
+        assert out.total_packets < batch.total_packets

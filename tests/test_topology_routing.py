@@ -1,0 +1,199 @@
+"""Tests for backbone topologies and routing."""
+
+import numpy as np
+import pytest
+
+from repro.net.addressing import Prefix, parse_ip
+from repro.net.routing import PrefixTable, Router
+from repro.net.topology import PoP, Topology, abilene, geant
+
+
+class TestAbileneTopology:
+    def test_pop_and_od_counts_match_paper(self):
+        topo = abilene()
+        assert topo.n_pops == 11
+        assert topo.n_od_flows == 121
+
+    def test_sampling_and_anonymization(self):
+        topo = abilene()
+        assert topo.sampling_rate == 100
+        assert topo.anonymization_bits == 11
+
+    def test_graph_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(abilene().graph)
+
+    def test_known_link_exists(self):
+        topo = abilene()
+        assert topo.graph.has_edge("DNVR", "KSCY")
+
+
+class TestGeantTopology:
+    def test_pop_and_od_counts_match_paper(self):
+        topo = geant()
+        assert topo.n_pops == 22
+        assert topo.n_od_flows == 484
+
+    def test_sampling_rate(self):
+        assert geant().sampling_rate == 1000
+
+    def test_not_anonymized(self):
+        assert geant().anonymization_bits == 0
+
+    def test_twice_abilene(self):
+        assert geant().n_pops == 2 * abilene().n_pops
+        assert geant().n_od_flows == 4 * abilene().n_od_flows
+
+
+class TestODIndexing:
+    def test_od_index_round_trip(self):
+        topo = abilene()
+        for od in range(topo.n_od_flows):
+            o, d = topo.od_pair(od)
+            assert topo.od_index(o.index, d.index) == od
+
+    def test_od_index_by_code(self):
+        topo = abilene()
+        od = topo.od_index("STTL", "NYCM")
+        o, d = topo.od_pair(od)
+        assert (o.code, d.code) == ("STTL", "NYCM")
+
+    def test_od_name(self):
+        topo = abilene()
+        assert topo.od_name(topo.od_index("STTL", "NYCM")) == "STTL->NYCM"
+
+    def test_ods_with_destination(self):
+        topo = abilene()
+        ods = topo.ods_with_destination("NYCM")
+        assert len(ods) == topo.n_pops
+        assert all(topo.od_pair(od)[1].code == "NYCM" for od in ods)
+
+    def test_ods_with_origin(self):
+        topo = abilene()
+        ods = topo.ods_with_origin("STTL")
+        assert len(ods) == topo.n_pops
+        assert all(topo.od_pair(od)[0].code == "STTL" for od in ods)
+
+    def test_out_of_range_rejected(self):
+        topo = abilene()
+        with pytest.raises(ValueError):
+            topo.od_pair(121)
+        with pytest.raises(ValueError):
+            topo.od_index(11, 0)
+
+    def test_prefixes_disjoint(self):
+        topo = geant()
+        networks = {p.prefix.network for p in topo.pops}
+        assert len(networks) == topo.n_pops
+
+
+class TestTopologyValidation:
+    def _pops(self, n=2):
+        return [
+            PoP(index=i, code=f"P{i}", name=f"pop{i}", prefix=Prefix(i << 16, 16))
+            for i in range(n)
+        ]
+
+    def test_duplicate_codes_rejected(self):
+        pops = self._pops(2)
+        pops[1] = PoP(index=1, code="P0", name="dup", prefix=Prefix(1 << 16, 16))
+        with pytest.raises(ValueError):
+            Topology("t", pops, [])
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", self._pops(2), [("P0", "P9")])
+
+    def test_disconnected_rejected(self):
+        pops = self._pops(3)
+        with pytest.raises(ValueError):
+            Topology("t", pops, [("P0", "P1")])
+
+    def test_bad_index_order_rejected(self):
+        pops = self._pops(2)
+        pops[0] = PoP(index=1, code="P0", name="x", prefix=Prefix(0, 16))
+        with pytest.raises(ValueError):
+            Topology("t", pops, [])
+
+
+class TestPrefixTable:
+    def test_longest_prefix_wins(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "short")
+        table.add(Prefix.parse("10.1.0.0/16"), "long")
+        assert table.lookup(parse_ip("10.1.2.3")) == "long"
+        assert table.lookup(parse_ip("10.2.2.3")) == "short"
+
+    def test_miss_returns_none(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), 1)
+        assert table.lookup(parse_ip("11.0.0.0")) is None
+
+    def test_remove(self):
+        table = PrefixTable()
+        p = Prefix.parse("10.0.0.0/8")
+        table.add(p, 1)
+        table.remove(p)
+        assert table.lookup(parse_ip("10.0.0.1")) is None
+        assert len(table) == 0
+
+    def test_replace(self):
+        table = PrefixTable()
+        p = Prefix.parse("10.0.0.0/8")
+        table.add(p, 1)
+        table.add(p, 2)
+        assert table.lookup(parse_ip("10.0.0.1")) == 2
+        assert len(table) == 1
+
+    def test_items(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "a")
+        table.add(Prefix.parse("192.168.0.0/16"), "b")
+        assert dict((str(p), v) for p, v in table.items()) == {
+            "10.0.0.0/8": "a",
+            "192.168.0.0/16": "b",
+        }
+
+
+class TestRouter:
+    def test_egress_resolution_per_pop(self):
+        topo = abilene()
+        router = Router(topo)
+        for pop in topo.pops:
+            ip = pop.prefix.nth(17)
+            assert router.egress_pop(ip) == pop.index
+
+    def test_default_egress_for_offnet(self):
+        router = Router(abilene(), default_egress=3)
+        assert router.egress_pop(parse_ip("8.8.8.8")) == 3
+
+    def test_vectorized_matches_scalar(self):
+        topo = abilene()
+        router = Router(topo)
+        ips = np.array(
+            [p.prefix.nth(9) for p in topo.pops] + [parse_ip("8.8.8.8")]
+        )
+        vec = router.egress_pops(ips)
+        scalar = [router.egress_pop(int(ip)) for ip in ips]
+        assert list(vec) == scalar
+
+    def test_resolve_od(self):
+        topo = abilene()
+        router = Router(topo)
+        dst = topo.pops[4].prefix.nth(1)
+        assert router.resolve_od(2, dst) == topo.od_index(2, 4)
+
+    def test_path_endpoints(self):
+        topo = abilene()
+        router = Router(topo)
+        od = topo.od_index("STTL", "ATLA")
+        path = router.path(od)
+        assert path[0] == "STTL" and path[-1] == "ATLA"
+
+    def test_link_load_ods_includes_endpoint_flow(self):
+        topo = abilene()
+        router = Router(topo)
+        ods = router.link_load_ods(("DNVR", "KSCY"))
+        assert topo.od_index("DNVR", "KSCY") in ods
+        assert len(ods) > 1

@@ -1,0 +1,66 @@
+"""Property tests on trace algebra: thinning composition, split/thin laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomalies.builders import ddos, network_scan, port_scan
+
+
+class TestThinningComposition:
+    @given(st.sampled_from([2, 5, 10]), st.sampled_from([2, 5, 10]))
+    @settings(max_examples=15, deadline=None)
+    def test_sequential_thinning_composes_in_expectation(self, a, b):
+        trace = ddos(np.random.default_rng(0), pps=10_000.0)
+        double = trace.thin(a, seed=1).thin(b, seed=2)
+        direct = trace.thin(a * b, seed=3)
+        assert double.packets == pytest.approx(direct.packets, rel=0.25)
+
+    @given(st.sampled_from([10, 100, 1000]))
+    @settings(max_examples=10, deadline=None)
+    def test_thinning_preserves_structure_signature(self, factor):
+        """Thinning must not change *which* features disperse."""
+        trace = port_scan(np.random.default_rng(1), pps=5_000.0)
+        thinned = trace.thin(factor)
+        if thinned.packets < 50:
+            return
+        # dst_port stays the dispersed feature, dst_ip concentrated.
+        assert thinned.contribution("dst_port").n_values > 10
+        assert thinned.contribution("dst_ip").n_values <= 2
+
+    def test_thinning_below_one_packet_gives_empty(self):
+        trace = network_scan(np.random.default_rng(2), pps=1.0)
+        thinned = trace.thin(100_000)
+        assert thinned.packets == 0
+
+
+class TestSplitThinCommutation:
+    @given(st.sampled_from([2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_split_then_sum_equals_total(self, k):
+        trace = ddos(np.random.default_rng(3), pps=20_000.0, n_sources=256)
+        parts = trace.split_by_sources(k, seed=1)
+        assert sum(p.packets for p in parts) == pytest.approx(trace.packets, rel=0.01)
+
+    @given(st.sampled_from([2, 4]))
+    @settings(max_examples=8, deadline=None)
+    def test_thin_then_split_equals_split_then_thin_in_mass(self, k):
+        trace = ddos(np.random.default_rng(4), pps=20_000.0, n_sources=128)
+        a = sum(p.packets for p in trace.thin(10, seed=5).split_by_sources(k, seed=6))
+        b = sum(p.packets for p in trace.split_by_sources(k, seed=6))
+        assert a == pytest.approx(b / 10, rel=0.25)
+
+    @given(st.sampled_from([2, 3, 5]))
+    @settings(max_examples=10, deadline=None)
+    def test_split_preserves_feature_totals_per_part(self, k):
+        trace = ddos(np.random.default_rng(5), pps=10_000.0, n_sources=64)
+        for part in trace.split_by_sources(k, seed=7):
+            for contrib in part.contributions:
+                assert contrib.total == pytest.approx(part.packets, rel=0.05)
+
+    def test_split_sources_disjoint_across_parts(self):
+        trace = ddos(np.random.default_rng(6), pps=10_000.0, n_sources=60)
+        parts = trace.split_by_sources(3, seed=8)
+        sizes = [len(p.contribution("src_ip").novel) for p in parts]
+        assert sum(sizes) == 60

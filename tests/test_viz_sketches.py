@@ -1,0 +1,192 @@
+"""Tests for the terminal visualisation helpers and the sketch substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import sample_entropy
+from repro.flows.sketches import (
+    CountMinSketch,
+    entropy_from_sketch,
+    exact_vs_sketch_error,
+    sketch_histogram,
+)
+from repro.viz import histogram_bar, scatter_grid, sparkline, timeseries_panel
+
+
+class TestSparkline:
+    def test_width_and_charset(self):
+        line = sparkline(np.sin(np.linspace(0, 6, 300)), width=40)
+        assert len(line) == 40
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_flat_series(self):
+        assert sparkline(np.ones(50), width=10) == "▁" * 10
+
+    def test_mark_wraps_bucket(self):
+        line = sparkline(np.arange(100.0), width=20, mark=50)
+        assert "\u27e8" in line and "\u27e9" in line
+        assert line.index("\u27e8") == 10
+        # The data glyph survives inside the brackets.
+        assert line[11] in "▁▂▃▄▅▆▇█"
+
+    def test_short_series_not_upsampled(self):
+        assert len(sparkline(np.arange(5.0), width=80)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.zeros(0))
+        with pytest.raises(ValueError):
+            sparkline(np.arange(10.0), mark=10)
+
+    def test_peak_maps_to_top_block(self):
+        line = sparkline(np.array([0.0, 0, 0, 10, 0, 0]), width=6)
+        assert line[3] == "█"
+
+
+class TestPanelsAndGrids:
+    def test_timeseries_panel_layout(self):
+        panel = timeseries_panel(
+            {"bytes": np.arange(50.0), "H(dstPort)": np.ones(50)}, width=30
+        )
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("bytes")
+
+    def test_timeseries_panel_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeseries_panel({})
+
+    def test_scatter_grid_plots_clusters(self):
+        x = np.array([-0.9, -0.9, 0.9, 0.9])
+        y = np.array([-0.9, -0.85, 0.9, 0.85])
+        grid = scatter_grid(x, y, labels=[0, 0, 1, 1], width=20, height=10)
+        assert "0" in grid and "1" in grid
+        assert "^" in grid and ">" in grid
+
+    def test_scatter_grid_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_grid(np.zeros(3), np.zeros(4))
+
+    def test_histogram_bar(self):
+        out = histogram_bar([100, 10, 1], width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("rank   1")
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_histogram_bar_empty(self):
+        assert histogram_bar([0, 0]) == "(empty histogram)"
+
+    def test_histogram_bar_truncation(self):
+        out = histogram_bar(np.arange(1, 50), max_rows=5)
+        assert "more values" in out
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        rng = np.random.default_rng(0)
+        sketch = CountMinSketch(width=256, depth=4)
+        truth = {}
+        for _ in range(500):
+            v = int(rng.integers(0, 200))
+            c = int(rng.integers(1, 50))
+            sketch.add(v, c)
+            truth[v] = truth.get(v, 0) + c
+        for v, c in truth.items():
+            assert sketch.query(v) >= c
+
+    def test_overestimate_bounded(self):
+        rng = np.random.default_rng(1)
+        sketch = CountMinSketch(width=2048, depth=5)
+        truth = {}
+        for _ in range(300):
+            v = int(rng.integers(0, 150))
+            c = int(rng.integers(1, 100))
+            sketch.add(v, c)
+            truth[v] = truth.get(v, 0) + c
+        # CM error bound: eps ~ e/width of the total count.
+        slack = 3 * sketch.total / sketch.width
+        for v, c in truth.items():
+            assert sketch.query(v) <= c + slack
+
+    def test_total_tracked(self):
+        sketch = CountMinSketch()
+        sketch.add(1, 10)
+        sketch.add(2, 5)
+        assert sketch.total == 15
+
+    def test_merge(self):
+        a = CountMinSketch(width=128, depth=3, seed=7)
+        b = CountMinSketch(width=128, depth=3, seed=7)
+        a.add(42, 10)
+        b.add(42, 5)
+        merged = a.merge(b)
+        assert merged.query(42) >= 15
+        assert merged.total == 15
+
+    def test_merge_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=128).merge(CountMinSketch(width=256))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=4)
+        with pytest.raises(ValueError):
+            CountMinSketch().add(1, -1)
+
+    def test_zero_add_is_noop(self):
+        sketch = CountMinSketch()
+        sketch.add(5, 0)
+        assert sketch.total == 0
+
+
+class TestSketchEntropy:
+    def test_close_on_zipf_histogram(self):
+        from repro.traffic.distributions import zipf_pmf
+
+        rng = np.random.default_rng(2)
+        counts = rng.multinomial(50_000, zipf_pmf(200, 1.0))
+        err = exact_vs_sketch_error(counts, width=2048)
+        assert err < 0.35
+
+    def test_exact_on_point_mass(self):
+        values = np.array([123])
+        counts = np.array([10_000])
+        sketch = sketch_histogram(values, counts, width=512)
+        assert entropy_from_sketch(sketch, values) == pytest.approx(0.0, abs=0.05)
+
+    def test_empty_sketch(self):
+        sketch = CountMinSketch()
+        assert entropy_from_sketch(sketch, np.array([1, 2])) == 0.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_error_shrinks_with_width(self, seed):
+        from repro.traffic.distributions import zipf_pmf
+
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(20_000, zipf_pmf(100, 1.2))
+        wide = exact_vs_sketch_error(counts, width=4096, seed=seed)
+        narrow = exact_vs_sketch_error(counts, width=64, seed=seed)
+        assert wide <= narrow + 0.3
+
+    def test_detects_port_scan_dispersal(self):
+        """The sketch entropy must preserve the paper's core signal."""
+        from repro.traffic.distributions import zipf_pmf
+
+        rng = np.random.default_rng(3)
+        normal = rng.multinomial(30_000, zipf_pmf(80, 1.0))
+        values = np.arange(80) * 7919
+        scan_values = np.arange(1500) * 104729 + 13
+        sketch_normal = sketch_histogram(values, normal, width=4096)
+        sketch_scan = sketch_histogram(values, normal, width=4096)
+        for v in scan_values:
+            sketch_scan.add(int(v), 20)
+        all_values = np.concatenate([values, scan_values])
+        h_normal = entropy_from_sketch(sketch_normal, values)
+        h_scan = entropy_from_sketch(sketch_scan, all_values)
+        exact_gain = sample_entropy(
+            np.concatenate([normal, np.full(1500, 20)])
+        ) - sample_entropy(normal)
+        assert h_scan - h_normal > 0.5 * exact_gain
