@@ -18,6 +18,9 @@ it depends on:
   classification; plus online extensions.
 * :mod:`repro.datasets` — labeled Abilene/Geant-like datasets with
   ground-truth schedules.
+* :mod:`repro.stream` — the online pipeline (paper Section 8): chunked
+  record ingestion, sketch-backed per-bin features, streaming multiway
+  detection and incremental classification.
 * :mod:`repro.experiments` — one module per paper table and figure.
 
 Quickstart::
@@ -41,6 +44,7 @@ from repro.core import (
 from repro.datasets import abilene_dataset, geant_dataset, make_labeled_dataset
 from repro.flows import FEATURES, TimeBins, TrafficCube
 from repro.net import Topology, abilene, geant
+from repro.stream import StreamConfig, StreamingDetectionEngine, StreamingReport
 from repro.traffic import GeneratorConfig, TrafficGenerator
 
 __version__ = "1.0.0"
@@ -62,6 +66,9 @@ __all__ = [
     "Topology",
     "abilene",
     "geant",
+    "StreamConfig",
+    "StreamingDetectionEngine",
+    "StreamingReport",
     "GeneratorConfig",
     "TrafficGenerator",
     "__version__",

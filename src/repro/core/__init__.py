@@ -49,7 +49,12 @@ from repro.core.multiway import (
     normalize_unit_energy,
     unfold,
 )
-from repro.core.online import OnlineClassifier, OnlineDetection, OnlineMultiwayDetector
+from repro.core.online import (
+    OnlineClassifier,
+    OnlineDetection,
+    OnlineMultiwayDetector,
+    OnlineVolumeDetector,
+)
 from repro.core.subspace import (
     DetectionResult,
     PCAModel,
@@ -106,6 +111,7 @@ __all__ = [
     "OnlineClassifier",
     "OnlineDetection",
     "OnlineMultiwayDetector",
+    "OnlineVolumeDetector",
     "DetectionResult",
     "PCAModel",
     "SubspaceDetector",

@@ -1,4 +1,4 @@
-"""Clustering algorithms for unsupervised anomaly classification.
+"""Clustering for unsupervised anomaly classification (paper Section 4.3).
 
 The paper deliberately uses *simple* clustering — one partitional
 algorithm (k-means) and one hierarchical algorithm (agglomerative with

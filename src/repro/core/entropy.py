@@ -1,4 +1,4 @@
-"""Sample entropy: the paper's summary statistic for feature distributions.
+"""Sample entropy: the paper's summary statistic (Section 3).
 
 Given an empirical histogram ``X = {n_i, i=1..N}`` with total
 ``S = sum n_i``, the sample entropy is::

@@ -7,11 +7,22 @@ being studied.  This module provides two:
   trained on a historical window and score new entropy observations
   bin-by-bin in O(p·m) per bin, with optional periodic refit from a
   sliding buffer.
+* :class:`OnlineVolumeDetector` — the same frozen-model streaming
+  treatment for a single ``(t, p)`` volume matrix (bytes or packets),
+  i.e. the online form of the volume baseline (Lakhina et al. 2004
+  [24]) the paper contrasts entropy detections against.
 * :class:`OnlineClassifier` — incremental nearest-centroid assignment
   of newly detected anomalies to existing clusters, spawning a new
   cluster when an anomaly is farther than ``spawn_distance`` from every
   centroid (so genuinely new anomaly types surface as new clusters
   rather than polluting old ones).
+
+Both detectors refit from a sliding buffer of clean observations:
+volume and entropy ensembles are diurnally nonstationary, so a model
+frozen forever drifts out of its own threshold (every bin starts to
+flag).  Detected bins are excluded from the buffer so anomalies cannot
+poison the normal model, with a drift-reset escape hatch for genuine
+regime changes.
 """
 
 from __future__ import annotations
@@ -22,9 +33,15 @@ import numpy as np
 
 from repro.core.identification import IdentifiedFlow, identify_flows
 from repro.core.multiway import MultiwaySubspaceDetector
+from repro.core.subspace import SubspaceModel
 from repro.flows.features import N_FEATURES
 
-__all__ = ["OnlineDetection", "OnlineMultiwayDetector", "OnlineClassifier"]
+__all__ = [
+    "OnlineDetection",
+    "OnlineMultiwayDetector",
+    "OnlineVolumeDetector",
+    "OnlineClassifier",
+]
 
 
 @dataclass
@@ -61,6 +78,7 @@ class OnlineMultiwayDetector:
         normalization: str = "variance",
         identify: bool = True,
         drift_reset_after: int = 12,
+        calibration_margin: float = 0.0,
     ) -> None:
         if window < 8:
             raise ValueError("window too small to fit a subspace")
@@ -68,6 +86,15 @@ class OnlineMultiwayDetector:
         self.refit_every = refit_every
         self.alpha = alpha
         self.identify = identify
+        # The Jackson-Mudholkar Q_alpha underestimates out-of-sample SPE
+        # when the window is short relative to the dimension (the PCA
+        # partially fits the noise).  A positive margin floors the
+        # threshold at margin * the maximum SPE the fitted model assigns
+        # to its own (clean) window — an empirical everything-in-window-
+        # is-normal calibration.  0 disables it (pure Q_alpha, the
+        # paper's threshold).
+        self.calibration_margin = calibration_margin
+        self._empirical_threshold = 0.0
         # Anomalous bins are excluded from the sliding buffer so attacks
         # cannot poison the normal model — but under genuine concept
         # drift that policy locks up (every bin looks anomalous and the
@@ -92,6 +119,15 @@ class OnlineMultiwayDetector:
         """Whether the detector has been fitted."""
         return self._detector.model is not None
 
+    @property
+    def threshold(self) -> float:
+        """Current detection threshold (Q_alpha, calibration-floored)."""
+        if self._detector.model is None:
+            raise RuntimeError("call warm_up() first")
+        return max(
+            self._detector.model.threshold(self.alpha), self._empirical_threshold
+        )
+
     def warm_up(self, history: np.ndarray) -> None:
         """Fit on a historical tensor and seed the sliding buffer."""
         history = np.asarray(history, dtype=np.float64)
@@ -101,9 +137,18 @@ class OnlineMultiwayDetector:
             raise ValueError("history too short")
         self._buffer = history[-self.window :].copy()
         self._detector.fit(self._buffer)
+        self._calibrate()
         self._id_cache.clear()
         self._seen = history.shape[0]
         self._since_refit = 0
+
+    def _calibrate(self) -> None:
+        """Empirical threshold floor: margin * max in-window SPE."""
+        self._empirical_threshold = 0.0
+        if not self.calibration_margin:
+            return
+        window_spe = self._detector.score(self._buffer).spe
+        self._empirical_threshold = float(self.calibration_margin * window_spe.max())
 
     def observe(self, bin_entropy: np.ndarray) -> OnlineDetection | None:
         """Score one new bin; returns a detection or None.
@@ -122,10 +167,11 @@ class OnlineMultiwayDetector:
             )
         tensor = obs[None, :, :]
         result = self._detector.score(tensor)
+        threshold = max(result.threshold, self._empirical_threshold)
         bin_index = self._seen
         self._seen += 1
         spe = float(result.spe[0])
-        if spe > result.threshold:
+        if spe > threshold:
             self._consecutive_hits += 1
             flows: list[IdentifiedFlow] = []
             if self.identify:
@@ -135,7 +181,7 @@ class OnlineMultiwayDetector:
                     Hn[0] - model.pca.mean,
                     model.normal_basis,
                     self._detector.n_od_flows,
-                    threshold=result.threshold,
+                    threshold=threshold,
                     cache=self._id_cache,
                 )
             if (
@@ -159,8 +205,180 @@ class OnlineMultiwayDetector:
         due = self.refit_every and self._since_refit >= self.refit_every
         if force_refit or due:
             self._detector.fit(self._buffer)
+            self._calibrate()
             self._id_cache.clear()
             self._since_refit = 0
+
+
+class OnlineVolumeDetector:
+    """Streaming subspace detection on one ``(t, p)`` volume matrix.
+
+    The online counterpart of the volume baseline
+    (:meth:`repro.core.detector.AnomalyDiagnosis.detect_volume` runs
+    one of these per metric, batch-fitted).  Semantics mirror
+    :class:`OnlineMultiwayDetector`: frozen-model scoring in O(p*m) per
+    bin, clean bins enter a sliding buffer, periodic refit, and a
+    consecutive-detection drift reset.
+
+    Volume ensembles are much less stationary than entropy ensembles —
+    diurnal load both shifts the mean and (Poisson-like) inflates the
+    noise as rates rise — so a model frozen on a sub-diurnal window
+    flags every later bin.  Three optional stabilisers address this; by
+    default all are off, which makes the detector score *exactly* like
+    the batch baseline on in-window data:
+
+    * ``transform="sqrt"`` — variance-stabilise counts before PCA.
+    * ``detrend="holt"`` — score residuals against a per-OD Holt
+      (level + trend) one-step forecast instead of raw rows.
+    * ``calibration_margin > 0`` — floor the threshold at
+      margin * max SPE of a held-out warm-up tail (see
+      :class:`OnlineMultiwayDetector.calibration_margin`).
+    """
+
+    def __init__(
+        self,
+        window: int = 2016,
+        refit_every: int = 288,
+        n_components: int | None = 10,
+        alpha: float = 0.999,
+        drift_reset_after: int = 12,
+        transform: str = "none",
+        detrend: str = "none",
+        holt_level: float = 0.4,
+        holt_trend: float = 0.2,
+        calibration_margin: float = 0.0,
+    ) -> None:
+        if window < 8:
+            raise ValueError("window too small to fit a subspace")
+        if transform not in ("none", "sqrt"):
+            raise ValueError(f"unknown transform {transform!r}")
+        if detrend not in ("none", "holt"):
+            raise ValueError(f"unknown detrend {detrend!r}")
+        self.window = window
+        self.refit_every = refit_every
+        self.n_components = n_components
+        self.alpha = alpha
+        self.drift_reset_after = drift_reset_after
+        self.transform = transform
+        self.detrend = detrend
+        self.holt_level = holt_level
+        self.holt_trend = holt_trend
+        self.calibration_margin = calibration_margin
+        self._consecutive_hits = 0
+        self._model: SubspaceModel | None = None
+        self._threshold = 0.0
+        self._buffer: np.ndarray | None = None  # residual-space rows
+        self._since_refit = 0
+        self._level: np.ndarray | None = None
+        self._trend: np.ndarray | None = None
+        self._residual_scale: np.ndarray | None = None
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the detector has been fitted."""
+        return self._model is not None
+
+    @property
+    def threshold(self) -> float:
+        """Current detection threshold (Q_alpha, calibration-floored)."""
+        if self._model is None:
+            raise RuntimeError("call warm_up() first")
+        return self._threshold
+
+    def _transform(self, rows: np.ndarray) -> np.ndarray:
+        if self.transform == "sqrt":
+            return np.sqrt(np.maximum(rows, 0.0))
+        return rows
+
+    def _holt_update(self, row: np.ndarray) -> np.ndarray:
+        """One-step Holt forecast residual; advances the state.
+
+        The state update is *winsorized*: each OD's residual is clipped
+        at 4 standard deviations (of the window's forecast residuals)
+        before it enters the level/trend estimate.  An attack spike on
+        one OD therefore barely moves that OD's forecast, while the
+        other ODs keep tracking diurnal curvature — without this, one
+        detection freezes the forecast and every following bin deviates
+        further (a runaway detection cascade).
+        """
+        prediction = self._level + self._trend
+        residual = row - prediction
+        update_residual = residual
+        if self._residual_scale is not None:
+            bound = 4.0 * self._residual_scale
+            update_residual = np.clip(residual, -bound, bound)
+        effective = prediction + update_residual
+        new_level = self.holt_level * effective + (1 - self.holt_level) * prediction
+        self._trend = (
+            self.holt_trend * (new_level - self._level)
+            + (1 - self.holt_trend) * self._trend
+        )
+        self._level = new_level
+        return residual
+
+    def warm_up(self, history: np.ndarray) -> None:
+        """Fit on a historical ``(t, p)`` matrix and seed the buffer."""
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 2:
+            raise ValueError("history must be (t, p)")
+        if history.shape[0] < 8:
+            raise ValueError("history too short")
+        rows = self._transform(history)
+        if self.detrend == "holt":
+            self._level = rows[0].copy()
+            self._trend = np.zeros_like(self._level)
+            residuals = np.vstack([self._holt_update(row) for row in rows[1:]])
+        else:
+            residuals = rows
+        self._buffer = residuals[-self.window :].copy()
+        self._fit()
+
+    def _fit(self) -> None:
+        self._model = SubspaceModel.fit(self._buffer, n_components=self.n_components)
+        self._threshold = self._model.threshold(self.alpha)
+        if self.calibration_margin:
+            window_spe = self._model.spe(self._buffer)
+            self._threshold = max(
+                self._threshold, float(self.calibration_margin * window_spe.max())
+            )
+        self._residual_scale = np.maximum(self._buffer.std(axis=0), 1e-9)
+        self._since_refit = 0
+
+    def observe(self, row: np.ndarray) -> tuple[bool, float]:
+        """Score one new ``(p,)`` volume row; returns (detected, spe).
+
+        Detected rows are excluded from the refit buffer and enter the
+        Holt forecast only winsorized (see :meth:`_holt_update`), until
+        ``drift_reset_after`` consecutive detections force the drift
+        interpretation (absorb + refit).
+        """
+        if self._model is None or self._buffer is None:
+            raise RuntimeError("call warm_up() first")
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != self._buffer.shape[1:]:
+            raise ValueError(f"row shape {row.shape} != {self._buffer.shape[1:]}")
+        transformed = self._transform(row)
+        if self.detrend == "holt":
+            residual = self._holt_update(transformed)
+        else:
+            residual = transformed
+        spe = float(self._model.spe(residual)[0])
+        detected = spe > self._threshold
+        if detected:
+            self._consecutive_hits += 1
+            if self.drift_reset_after and self._consecutive_hits >= self.drift_reset_after:
+                self._absorb(residual, force_refit=True)
+                self._consecutive_hits = 0
+        else:
+            self._consecutive_hits = 0
+            self._absorb(residual)
+        return detected, spe
+
+    def _absorb(self, residual: np.ndarray, force_refit: bool = False) -> None:
+        self._buffer = np.concatenate([self._buffer[1:], residual[None, :]], axis=0)
+        self._since_refit += 1
+        if force_refit or (self.refit_every and self._since_refit >= self.refit_every):
+            self._fit()
 
 
 class OnlineClassifier:
@@ -172,7 +390,11 @@ class OnlineClassifier:
     from all of them, in which case it founds a new cluster.
     """
 
-    def __init__(self, centroids: np.ndarray, spawn_distance: float = 0.7) -> None:
+    def __init__(
+        self, centroids: np.ndarray | None = None, spawn_distance: float = 0.7
+    ) -> None:
+        if centroids is None:
+            centroids = np.zeros((0, N_FEATURES))
         centroids = np.asarray(centroids, dtype=np.float64)
         if centroids.ndim != 2 or centroids.shape[1] != N_FEATURES:
             raise ValueError(f"centroids must be (k, {N_FEATURES})")
@@ -188,6 +410,8 @@ class OnlineClassifier:
     @property
     def centroids(self) -> np.ndarray:
         """Current centroids, ``(k, 4)``."""
+        if not self._centroids:
+            return np.zeros((0, N_FEATURES))
         return np.vstack(self._centroids)
 
     def assign(self, vector: np.ndarray, update: bool = True) -> int:
@@ -204,6 +428,11 @@ class OnlineClassifier:
         v = np.asarray(vector, dtype=np.float64)
         if v.shape != (N_FEATURES,):
             raise ValueError(f"vector must be a {N_FEATURES}-vector")
+        if not self._centroids:
+            # Cold start: the first anomaly founds the first cluster.
+            self._centroids.append(v.copy())
+            self._counts.append(1)
+            return 0
         dists = [float(np.linalg.norm(v - c)) for c in self._centroids]
         best = int(np.argmin(dists))
         if dists[best] > self.spawn_distance:

@@ -1,4 +1,4 @@
-"""The subspace method: PCA normal/residual decomposition with a Q-statistic.
+"""The subspace method (paper Section 4.1): PCA split with a Q-statistic.
 
 Given a ``t x p`` data matrix X (rows = observations, columns = OD-flow
 metrics), the method:
@@ -108,6 +108,17 @@ def q_threshold(residual_eigenvalues: np.ndarray, alpha: float) -> float:
         return 0.0
     if not 0 < alpha < 1:
         raise ValueError("alpha must be in (0, 1)")
+    scale = lam.max()
+    if scale <= 0 or not np.isfinite(scale):
+        # Spectrum underflowed to zero (e.g. a constant data matrix).
+        return 0.0
+    # The Jackson-Mudholkar limit is scale-equivariant
+    # (Q_alpha(c * lam) = c * Q_alpha(lam)); normalising by the largest
+    # eigenvalue keeps the phi moments away from floating-point under-
+    # and overflow for extreme spectra (tiny residuals would otherwise
+    # yield phi2**2 == 0 and a NaN threshold that silently disables
+    # detection).
+    lam = lam / scale
     phi1 = lam.sum()
     phi2 = (lam ** 2).sum()
     phi3 = (lam ** 3).sum()
@@ -125,7 +136,7 @@ def q_threshold(residual_eigenvalues: np.ndarray, alpha: float) -> float:
     # A (rare) negative base means the normal approximation has broken
     # down; clamp to a tiny positive number, again conservative.
     term = max(term, 1e-12)
-    return float(phi1 * term ** (1.0 / h0))
+    return float(scale * phi1 * term ** (1.0 / h0))
 
 
 @dataclass

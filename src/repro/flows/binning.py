@@ -1,4 +1,4 @@
-"""Time binning: both networks export flow statistics every 5 minutes.
+"""Time binning: 5-minute flow-export bins (paper Section 2).
 
 :class:`TimeBins` defines a regular grid of bins over the trace, and
 :func:`bin_flows` partitions a :class:`FlowRecordBatch` by bin.  Bin

@@ -1,4 +1,4 @@
-"""Traffic features and per-bin feature histograms.
+"""Traffic features and per-bin feature histograms (paper Section 3).
 
 A *traffic feature* is a packet-header field; the paper uses four:
 source address, destination address, source port, destination port.

@@ -1,4 +1,4 @@
-"""Flow records: the unit of measurement exported by routers.
+"""Flow records: the unit of measurement exported by routers (paper Section 2).
 
 Two representations are provided:
 

@@ -1,0 +1,29 @@
+"""Streaming subsystem: chunked records -> sketch features -> online diagnosis.
+
+The paper's Section 8 names online operation as the open problem; this
+package is that pipeline.  See :mod:`repro.stream.engine` for the
+end-to-end engine, :mod:`repro.stream.window` for the sketch-backed
+feature stage, and :mod:`repro.stream.chunks` for bounded-memory record
+ingestion.
+"""
+
+from repro.stream.chunks import iter_record_chunks, synthetic_record_stream
+from repro.stream.engine import (
+    StreamConfig,
+    StreamDetection,
+    StreamingDetectionEngine,
+    StreamingReport,
+)
+from repro.stream.window import BinAccumulator, BinSummary, StreamFeatureStage
+
+__all__ = [
+    "iter_record_chunks",
+    "synthetic_record_stream",
+    "StreamConfig",
+    "StreamDetection",
+    "StreamingDetectionEngine",
+    "StreamingReport",
+    "BinAccumulator",
+    "BinSummary",
+    "StreamFeatureStage",
+]

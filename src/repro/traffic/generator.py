@@ -381,10 +381,19 @@ class TrafficGenerator:
             cube.entropy[:, od, :] = stream.entropy
             # Streams are regenerable; do not let the cache balloon while
             # sweeping every OD.
-            self._stream_cache.pop(od, None)
+            self.evict_stream(od)
             if progress and od % 50 == 0:
                 print(f"  generated OD {od}/{p}", flush=True)
         return cube
+
+    def evict_stream(self, od: int) -> None:
+        """Drop one OD's cached stream (regenerable; bounds memory).
+
+        Callers sweeping every OD flow (cube construction, the
+        streaming record source) evict as they go so the LRU cache
+        never balloons past the flows still in flight.
+        """
+        self._stream_cache.pop(od, None)
 
     # -- materialisation to real feature values -----------------------------
 

@@ -1,0 +1,29 @@
+"""Docs stay honest: README/ARCHITECTURE code blocks must compile.
+
+The full execution pass (``tools/check_docs.py --run``) runs in CI;
+here we keep the cheap guarantees in tier-1: the documents exist, link
+to each other, and every fenced python block parses.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_exist_and_link():
+    readme = (REPO / "README.md").read_text()
+    architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme  # README links the arch doc
+    assert "repro.stream" in readme and "repro.stream" in architecture
+
+
+def test_readme_python_blocks_compile():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "README.md" in result.stdout

