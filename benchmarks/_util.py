@@ -4,11 +4,15 @@ Every benchmark regenerates one paper table or figure: it runs the
 corresponding experiment once under pytest-benchmark (timing the run)
 and saves the paper-style report to ``benchmarks/results/<name>.txt``
 in addition to printing it, so the regenerated rows survive pytest's
-output capturing.
+output capturing.  Performance benchmarks additionally persist a
+machine-readable ``results/<name>.json`` via :func:`write_json_result`
+so the perf trajectory can be tracked across commits without parsing
+prose.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -19,6 +23,18 @@ def emit(name: str, report: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
     print(f"\n{report}\n")
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result as ``results/<name>.json``.
+
+    Keys are sorted and the layout is stable so diffs across commits
+    stay meaningful; the path is returned for logging.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_once(benchmark, func, *args, **kwargs):

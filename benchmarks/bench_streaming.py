@@ -17,7 +17,7 @@ engine mode shows how much of the gap is the sketch estimator itself.
 
 import time
 
-from _util import emit, run_once
+from _util import emit, run_once, write_json_result
 
 from repro.core.multiway import MultiwaySubspaceDetector
 from repro.core.subspace import SubspaceDetector
@@ -104,6 +104,25 @@ def test_streaming_vs_batch_throughput(benchmark):
                 "  (streaming holds one bin of state; batch holds every histogram)",
             ]
         ),
+    )
+    write_json_result(
+        "streaming",
+        {
+            "n_records": n_records,
+            "n_bins": N_BINS,
+            "n_od_flows": topology.n_od_flows,
+            "records_per_sec": {
+                "streaming_sketch": n_records / stream_elapsed,
+                "streaming_exact": n_records / exact_elapsed,
+                "batch": n_records / batch_elapsed,
+            },
+            "detections": {
+                "streaming_sketch": report.counts()["total"],
+                "streaming_exact": exact_report.counts()["total"],
+                "batch_entropy_bins": len(entropy_bins),
+                "batch_volume_bins": len(volume_bins),
+            },
+        },
     )
     # The engine must process the full trace and score every post-warm-up bin.
     assert report.n_records == n_records

@@ -21,6 +21,10 @@ it depends on:
 * :mod:`repro.stream` — the online pipeline (paper Section 8): chunked
   record ingestion, sketch-backed per-bin features, streaming multiway
   detection and incremental classification.
+* :mod:`repro.cluster` — the sharded deployment (paper Section 8):
+  per-shard monitors reduce records into mergeable per-bin summaries;
+  a central coordinator merges them and drives the streaming engine
+  across worker processes.
 * :mod:`repro.experiments` — one module per paper table and figure.
 
 Quickstart::
@@ -32,6 +36,12 @@ Quickstart::
     print(report.counts())
 """
 
+from repro.cluster import (
+    ClusterCoordinator,
+    ShardBinSummary,
+    ShardMonitor,
+    run_cluster,
+)
 from repro.core import (
     AnomalyDiagnosis,
     DiagnosisReport,
@@ -69,6 +79,10 @@ __all__ = [
     "StreamConfig",
     "StreamingDetectionEngine",
     "StreamingReport",
+    "ClusterCoordinator",
+    "ShardBinSummary",
+    "ShardMonitor",
+    "run_cluster",
     "GeneratorConfig",
     "TrafficGenerator",
     "__version__",

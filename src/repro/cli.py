@@ -11,9 +11,15 @@ paper) actually runs:
 * ``stream``   — run the online pipeline (paper Section 8) over a
   synthetic flow-record trace: chunked ingestion, sketch-backed per-bin
   entropy, streaming multiway detection; reports throughput;
+* ``cluster``  — the sharded deployment: worker processes reduce their
+  OD-flow slice into mergeable per-bin summaries, a central
+  coordinator merges them and runs the same streaming diagnosis;
 * ``experiment`` — run one of the paper's experiments by name
   (``fig1``..``fig10``, ``table2``..``table8``, ``ablations``,
   ``anonymization``) and print the paper-style report.
+
+Every command exits 0 on success; invalid input (bad arguments, missing
+files, malformed cubes) exits 2 with a one-line error on stderr.
 """
 
 from __future__ import annotations
@@ -24,6 +30,25 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _version() -> str:
+    """Package version.
+
+    The package's own ``__version__`` wins: the documented run mode is
+    uninstalled (``PYTHONPATH=src``), and installed-distribution
+    metadata can belong to a bare/legacy install (or an unrelated
+    distribution that happens to be named ``repro``).  Metadata is the
+    fallback only if the attribute ever disappears.
+    """
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - __version__ is defined
+        from importlib.metadata import version
+
+        return version("repro")
 
 _EXPERIMENTS = {
     "fig1": "fig1_histograms",
@@ -51,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Mining Anomalies Using Traffic Feature Distributions'",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,6 +133,32 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--alpha", type=float, default=0.999)
     stream.add_argument("--components", type=int, default=10)
     stream.add_argument("--json", help="export the diagnosis-report JSON here")
+
+    cluster = sub.add_parser(
+        "cluster", help="run the sharded multi-process engine on a synthetic trace"
+    )
+    cluster.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="worker processes (each owns an OD-flow slice)")
+    cluster.add_argument("--warmup-bins", type=int, default=48,
+                         help="bins accumulated from the stream before fitting")
+    cluster.add_argument("--live-bins", type=int, default=24,
+                         help="bins scored after warm-up")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--max-records", type=int, default=400,
+                         help="records materialised per (OD flow, bin)")
+    cluster.add_argument("--chunk-records", type=int, default=8192,
+                         help="ingestion chunk size per shard (memory bound)")
+    cluster.add_argument("--queue-depth", type=int, default=16,
+                         help="in-flight summaries bound (back-pressure)")
+    cluster.add_argument("--sketch-width", type=int, default=2048)
+    cluster.add_argument("--exact", action="store_true",
+                         help="exact histograms instead of Count-Min sketches")
+    cluster.add_argument("--refit-every", type=int, default=12,
+                         help="clean bins between model refits (0 freezes)")
+    cluster.add_argument("--alpha", type=float, default=0.999)
+    cluster.add_argument("--components", type=int, default=10)
+    cluster.add_argument("--json", help="export the diagnosis-report JSON here")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS) + ["ablations"])
@@ -191,6 +245,35 @@ def _cmd_inject(args) -> int:
     return 0
 
 
+def _print_verdict(topo, verdict) -> None:
+    """One detection line, shared by the stream and cluster commands."""
+    if not verdict.detected:
+        return
+    kind = "+".join(
+        k for k, hit in (
+            ("entropy", verdict.detected_by_entropy),
+            ("volume", verdict.detected_by_volume),
+        ) if hit
+    )
+    od = verdict.primary_od
+    where = topo.od_name(od) if od is not None else "unidentified"
+    print(
+        f"  bin {verdict.bin}: {kind} detection "
+        f"(spe={verdict.spe_entropy:.3g}) flow={where} "
+        f"cluster={verdict.cluster}"
+    )
+
+
+def _print_detection_counts(report) -> None:
+    """Table-2 style summary line of a streaming/cluster report."""
+    counts = report.counts()
+    print(
+        f"detections: total={counts['total']} volume_only={counts['volume_only']} "
+        f"entropy_only={counts['entropy_only']} both={counts['both']} "
+        f"clusters={report.classifier.n_clusters}"
+    )
+
+
 def _cmd_stream(args) -> int:
     import time
 
@@ -227,33 +310,67 @@ def _cmd_stream(args) -> int:
     # events() re-chunks, ingests, and flushes the final bin, so the
     # per-detection lines below cover every scored bin.
     for verdict in engine.events(source):
-        if verdict.detected:
-            kind = "+".join(
-                k for k, hit in (
-                    ("entropy", verdict.detected_by_entropy),
-                    ("volume", verdict.detected_by_volume),
-                ) if hit
-            )
-            od = verdict.primary_od
-            where = topo.od_name(od) if od is not None else "unidentified"
-            print(
-                f"  bin {verdict.bin}: {kind} detection "
-                f"(spe={verdict.spe_entropy:.3g}) flow={where} "
-                f"cluster={verdict.cluster}"
-            )
+        _print_verdict(topo, verdict)
     report = engine.finish()
     elapsed = time.perf_counter() - start
     rate = report.n_records / elapsed if elapsed > 0 else float("inf")
-    counts = report.counts()
     print(
         f"processed {report.n_records} records -> {report.n_bins_scored} scored bins "
         f"in {elapsed:.2f}s ({rate:,.0f} records/s)"
     )
-    print(
-        f"detections: total={counts['total']} volume_only={counts['volume_only']} "
-        f"entropy_only={counts['entropy_only']} both={counts['both']} "
-        f"clusters={report.classifier.n_clusters}"
+    _print_detection_counts(report)
+    if args.json:
+        from repro.io import write_report_json
+
+        print(f"wrote {write_report_json(report.to_diagnosis_report(), args.json)}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import run_cluster
+    from repro.net.topology import abilene, geant
+    from repro.stream import StreamConfig
+
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+    topo = abilene() if args.network == "abilene" else geant()
+    n_bins = args.warmup_bins + args.live_bins
+    config = StreamConfig(
+        warmup_bins=args.warmup_bins,
+        refit_every=args.refit_every,
+        n_components=args.components,
+        alpha=args.alpha,
+        sketch_width=args.sketch_width,
+        exact_histograms=args.exact,
+        chunk_records=args.chunk_records,
     )
+    mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    print(
+        f"clustering {topo.name}: {args.shards} shards x "
+        f"{(topo.n_od_flows + args.shards - 1) // args.shards} OD flows, "
+        f"{n_bins} bins, {mode}, warm-up {args.warmup_bins} bins"
+    )
+
+    result = run_cluster(
+        network=args.network,
+        n_bins=n_bins,
+        seed=args.seed,
+        n_shards=args.shards,
+        config=config,
+        max_records_per_od=args.max_records,
+        queue_depth=args.queue_depth,
+        on_detection=lambda verdict: _print_verdict(topo, verdict),
+    )
+    report = result.report
+    balance = ", ".join(
+        f"shard {s}: {n}" for s, n in sorted(result.shard_records.items())
+    )
+    print(
+        f"processed {result.n_records} records -> {report.n_bins_scored} scored bins "
+        f"in {result.elapsed:.2f}s ({result.records_per_sec:,.0f} records/s)"
+    )
+    print(f"shard load: {balance}")
+    _print_detection_counts(report)
     if args.json:
         from repro.io import write_report_json
 
@@ -281,16 +398,34 @@ def _cmd_experiment(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 2 invalid input (argparse errors also exit
+    2, so callers see one consistent code for "bad invocation").
+    Set ``REPRO_DEBUG=1`` to get the full traceback alongside the
+    one-line error — the escape hatch for telling a genuine bug
+    surfacing as ValueError apart from a user mistake.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
         "detect": _cmd_detect,
         "inject": _cmd_inject,
         "stream": _cmd_stream,
+        "cluster": _cmd_cluster,
         "experiment": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as exc:
+        import os
+
+        if os.environ.get("REPRO_DEBUG"):
+            import traceback
+
+            traceback.print_exc()
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

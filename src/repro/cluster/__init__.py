@@ -1,0 +1,33 @@
+"""Sharded multi-process detection (the paper's Section 8 systems problem).
+
+Record ingestion shards across processes; each shard reduces its slice
+of every time bin into a serializable, mergeable summary; a central
+coordinator aligns the shards by bin, folds the summaries with an
+associative/commutative merge, and drives the streaming detection
+engine — so a cluster of monitors produces the same network-wide
+diagnosis as one process reading the whole trace.
+
+* :mod:`repro.cluster.summary` — :class:`ShardBinSummary`, the
+  mergeable per-bin unit of exchange and its wire format.
+* :mod:`repro.cluster.shard` — :class:`ShardMonitor`, the shard-side
+  ingestion stage.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`, the
+  bin-aligned central merge point.
+* :mod:`repro.cluster.runner` — :func:`run_cluster`, the
+  ``multiprocessing`` driver behind the ``repro cluster`` command.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.runner import ClusterResult, run_cluster, shard_ods
+from repro.cluster.shard import ShardMonitor
+from repro.cluster.summary import ShardBinSummary, merge_summaries
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterResult",
+    "ShardBinSummary",
+    "ShardMonitor",
+    "merge_summaries",
+    "run_cluster",
+    "shard_ods",
+]

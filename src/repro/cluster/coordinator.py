@@ -1,0 +1,160 @@
+"""Central merge point: align shard summaries by bin, merge, diagnose.
+
+The :class:`ClusterCoordinator` is the "central point" of the paper's
+network-wide diagnosis applied to the sharded deployment: shards push
+per-bin :class:`ShardBinSummary` objects (in bin order, as their local
+streams advance), the coordinator holds each bin open until every
+still-open shard has advanced past it, then folds the shards together
+with the summary algebra and drives
+:meth:`repro.stream.engine.StreamingDetectionEngine.observe_summary` —
+so the cluster's output is the same stream of
+:class:`repro.stream.engine.StreamDetection` verdicts (and ultimately
+the same ``DiagnosisReport``) a single-process engine produces.
+
+Alignment rules:
+
+* each shard's summaries must arrive in increasing bin order (shard
+  monitors emit contiguous bins, gaps included);
+* bin ``b`` is merged once every open shard has delivered a summary
+  with bin >= ``b`` or closed — shards whose streams start late simply
+  contribute nothing to earlier bins;
+* bins no shard observed (a global gap) are scored as empty summaries,
+  matching what a single feature stage would emit for a quiet bin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.summary import ShardBinSummary, merge_summaries
+from repro.flows.features import N_FEATURES
+from repro.stream.engine import StreamDetection, StreamingDetectionEngine, StreamingReport
+from repro.stream.window import BinSummary
+
+__all__ = ["ClusterCoordinator"]
+
+
+class ClusterCoordinator:
+    """Merges shard summaries bin-by-bin into a streaming diagnosis.
+
+    Usage::
+
+        engine = StreamingDetectionEngine(topology, config)
+        coordinator = ClusterCoordinator(engine, shard_ids=range(4))
+        for shard_id, payload in transport:          # any arrival order
+            for verdict in coordinator.add_serialized(shard_id, payload):
+                ...
+        report = coordinator.finish()                # all shards closed
+    """
+
+    def __init__(
+        self, engine: StreamingDetectionEngine, shard_ids: Sequence[int]
+    ) -> None:
+        shard_ids = [int(s) for s in shard_ids]
+        if not shard_ids:
+            raise ValueError("coordinator needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("shard ids must be unique")
+        self.engine = engine
+        self.shard_ids = shard_ids
+        self._open = set(shard_ids)
+        self._highwater: dict[int, int] = {}
+        self._pending: dict[int, dict[int, ShardBinSummary]] = {}
+        self._next_bin: int | None = None
+        self._n_records = 0
+        self._late_records = 0
+
+    @property
+    def n_pending_bins(self) -> int:
+        """Bins buffered waiting for lagging shards (back-pressure gauge)."""
+        return len(self._pending)
+
+    def add_summary(
+        self, shard_id: int, summary: ShardBinSummary
+    ) -> list[StreamDetection]:
+        """Accept one shard's summary; returns verdicts of bins it freed."""
+        if shard_id not in self._open:
+            raise ValueError(f"shard {shard_id} is unknown or already closed")
+        expected_p = self.engine.topology.n_od_flows
+        if summary.n_od_flows != expected_p:
+            raise ValueError(
+                f"shard {shard_id} summary covers {summary.n_od_flows} OD flows, "
+                f"engine topology has {expected_p} (topology mismatch?)"
+            )
+        last = self._highwater.get(shard_id)
+        if last is not None and summary.bin <= last:
+            raise ValueError(
+                f"shard {shard_id} summaries must arrive in bin order "
+                f"(got bin {summary.bin} after {last})"
+            )
+        if self._next_bin is not None and summary.bin < self._next_bin:
+            raise ValueError(
+                f"shard {shard_id} delivered bin {summary.bin}, already merged "
+                f"(coordinator is at bin {self._next_bin})"
+            )
+        self._highwater[shard_id] = summary.bin
+        self._pending.setdefault(summary.bin, {})[shard_id] = summary
+        return self._drain()
+
+    def add_serialized(self, shard_id: int, payload: bytes) -> list[StreamDetection]:
+        """Accept one wire-format summary (see :meth:`ShardBinSummary.to_bytes`)."""
+        return self.add_summary(shard_id, ShardBinSummary.from_bytes(payload))
+
+    def record_late(self, n_records: int) -> None:
+        """Account records a shard discarded as late (report bookkeeping)."""
+        self._late_records += int(n_records)
+
+    def close_shard(self, shard_id: int) -> list[StreamDetection]:
+        """Mark a shard's stream ended; may release bins it was holding."""
+        if shard_id not in self._open:
+            raise ValueError(f"shard {shard_id} is unknown or already closed")
+        self._open.discard(shard_id)
+        return self._drain()
+
+    def _drain(self) -> list[StreamDetection]:
+        verdicts: list[StreamDetection] = []
+        while self._pending:
+            target = self._next_bin
+            if target is None:
+                target = min(self._pending)
+            if any(self._highwater.get(s, target - 1) < target for s in self._open):
+                break
+            group = self._pending.pop(target, None)
+            if group is None:
+                # A global gap: no shard observed this bin.  Score it as
+                # the empty summary a quiet single-process stage emits.
+                p = self.engine.topology.n_od_flows
+                merged_bin = BinSummary(
+                    bin=target,
+                    entropy=np.zeros((p, N_FEATURES)),
+                    packets=np.zeros(p),
+                    bytes=np.zeros(p),
+                    n_records=0,
+                )
+            else:
+                merged = merge_summaries(group.values())
+                self._n_records += merged.n_records
+                merged_bin = merged.to_bin_summary()
+            verdict = self.engine.observe_summary(merged_bin)
+            if verdict is not None:
+                verdicts.append(verdict)
+            self._next_bin = target + 1
+        return verdicts
+
+    def finish(self) -> StreamingReport:
+        """Drain everything and return the cluster-wide report.
+
+        All shards must be closed first (a shard still open could yet
+        contribute to a buffered bin).
+        """
+        if self._open:
+            raise RuntimeError(
+                f"cannot finish with open shards: {sorted(self._open)}"
+            )
+        assert not self._pending  # close_shard drains once all are closed
+        report = self.engine.finish()
+        report.n_records = self._n_records
+        report.late_records += self._late_records
+        return report

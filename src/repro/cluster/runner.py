@@ -1,0 +1,256 @@
+"""Multi-process cluster driver for the synthetic workload.
+
+Ties the pieces together into the ``repro cluster`` command: N worker
+processes each run a :class:`repro.cluster.shard.ShardMonitor` over
+their OD-flow slice of a deterministic synthetic trace, ship wire-format
+summaries through a bounded queue (back-pressure: a worker sleeping on a
+full queue stops materialising records), and the parent's
+:class:`repro.cluster.coordinator.ClusterCoordinator` merges and scores
+them with a :class:`repro.stream.engine.StreamingDetectionEngine`.
+
+Determinism: the synthetic record stream seeds every (OD flow, bin)
+draw from ``SeedSequence([generator_seed, stream_seed, od, bin])``
+(see :func:`repro.stream.chunks.synthetic_record_stream`), so a worker
+materialises bit-identical records for its ODs no matter how many
+shards exist — the cluster's detections are therefore bin-for-bin
+identical to a single process consuming the whole trace (exact-histogram
+mode; sketch mode matches within estimator tolerance).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.shard import ShardMonitor
+from repro.stream.chunks import iter_record_chunks, synthetic_record_stream
+from repro.stream.engine import StreamConfig, StreamDetection, StreamingDetectionEngine, StreamingReport
+
+__all__ = ["ClusterResult", "run_cluster", "shard_ods"]
+
+_NETWORKS = ("abilene", "geant")
+
+
+def shard_ods(n_od_flows: int, n_shards: int, shard_id: int) -> list[int]:
+    """Round-robin OD-flow partition: shard ``s`` owns ``od % n_shards == s``.
+
+    Round-robin (rather than contiguous ranges) balances load because
+    the gravity model makes OD-flow rates heavy-tailed in OD index.
+    """
+    if not 0 <= shard_id < n_shards:
+        raise ValueError("shard_id must be in [0, n_shards)")
+    return list(range(shard_id, n_od_flows, n_shards))
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs to rebuild its shard (picklable)."""
+
+    network: str
+    n_bins: int
+    seed: int
+    shard_id: int
+    n_shards: int
+    max_records_per_od: int
+    chunk_records: int
+    exact: bool
+    sketch_width: int
+    sketch_depth: int
+    sketch_seed: int
+
+
+def _build_topology(network: str):
+    from repro.net.topology import abilene, geant
+
+    if network not in _NETWORKS:
+        raise ValueError(f"unknown network {network!r}; expected one of {_NETWORKS}")
+    return abilene() if network == "abilene" else geant()
+
+
+def _shard_worker(spec: _WorkerSpec, queue) -> None:
+    """Worker entry point: materialise, reduce, ship, close."""
+    try:
+        from repro.flows.binning import TimeBins
+        from repro.traffic.generator import TrafficGenerator
+
+        topology = _build_topology(spec.network)
+        generator = TrafficGenerator(
+            topology, TimeBins(n_bins=spec.n_bins), seed=spec.seed
+        )
+        monitor = ShardMonitor(
+            topology,
+            width=spec.sketch_width,
+            depth=spec.sketch_depth,
+            sketch_seed=spec.sketch_seed,
+            exact=spec.exact,
+            shard_id=spec.shard_id,
+        )
+        ods = shard_ods(topology.n_od_flows, spec.n_shards, spec.shard_id)
+        source = synthetic_record_stream(
+            generator,
+            range(spec.n_bins),
+            ods=ods,
+            max_records_per_od=spec.max_records_per_od,
+            seed=spec.seed,
+        )
+        n_records = 0
+        for chunk in iter_record_chunks(source, spec.chunk_records):
+            n_records += len(chunk)
+            for summary in monitor.ingest(chunk):
+                queue.put(("summary", spec.shard_id, summary.to_bytes()))
+        for summary in monitor.flush():
+            queue.put(("summary", spec.shard_id, summary.to_bytes()))
+        queue.put(("close", spec.shard_id, n_records, monitor.late_records))
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        import traceback
+
+        queue.put(("error", spec.shard_id, f"{exc!r}\n{traceback.format_exc()}"))
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run.
+
+    Attributes:
+        report: The merged :class:`StreamingReport` (same shape as a
+            single-process run; ``to_diagnosis_report()`` applies).
+        n_shards: Worker count.
+        n_records: Records ingested across all shards.
+        elapsed: Wall-clock seconds, worker launch to final merge.
+        shard_records: Per-shard record counts (load-balance check).
+    """
+
+    report: StreamingReport
+    n_shards: int
+    n_records: int
+    elapsed: float
+    shard_records: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def records_per_sec(self) -> float:
+        """Cluster-wide ingest throughput."""
+        return self.n_records / self.elapsed if self.elapsed > 0 else float("inf")
+
+
+def run_cluster(
+    network: str = "abilene",
+    n_bins: int = 72,
+    seed: int = 0,
+    n_shards: int = 2,
+    config: StreamConfig | None = None,
+    max_records_per_od: int = 400,
+    queue_depth: int = 16,
+    start_method: str | None = None,
+    on_detection: Callable[[StreamDetection], None] | None = None,
+) -> ClusterResult:
+    """Run the sharded pipeline end-to-end on a synthetic trace.
+
+    Args:
+        network: ``"abilene"`` or ``"geant"``.
+        n_bins: Bins to stream (warm-up included).
+        seed: Master seed (generator and record draws).
+        n_shards: Worker process count (>= 1).
+        config: Engine knobs; ``exact_histograms``, sketch geometry and
+            ``chunk_records`` also shape the shard monitors.
+        max_records_per_od: Records materialised per (OD flow, bin).
+        queue_depth: Bound on in-flight summaries per queue — the
+            back-pressure knob; workers block rather than outrun the
+            coordinator.
+        start_method: ``multiprocessing`` start method (None: platform
+            default, e.g. ``fork`` on Linux).
+        on_detection: Callback invoked with each verdict as bins close
+            (live output; the verdicts also land in the report).
+
+    Returns:
+        A :class:`ClusterResult` with the merged report and throughput.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    topology = _build_topology(network)
+    config = config or StreamConfig()
+    engine = StreamingDetectionEngine(topology, config)
+    coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
+    specs = [
+        _WorkerSpec(
+            network=network,
+            n_bins=n_bins,
+            seed=seed,
+            shard_id=shard_id,
+            n_shards=n_shards,
+            max_records_per_od=max_records_per_od,
+            chunk_records=config.chunk_records,
+            exact=config.exact_histograms,
+            sketch_width=config.sketch_width,
+            sketch_depth=config.sketch_depth,
+            sketch_seed=config.sketch_seed,
+        )
+        for shard_id in range(n_shards)
+    ]
+
+    context = multiprocessing.get_context(start_method)
+    queue = context.Queue(maxsize=queue_depth)
+    workers = [
+        context.Process(target=_shard_worker, args=(spec, queue), daemon=True)
+        for spec in specs
+    ]
+    start = time.perf_counter()
+    shard_records: dict[int, int] = {}
+    try:
+        for worker in workers:
+            worker.start()
+        open_shards = set(range(n_shards))
+        while open_shards:
+            try:
+                message = queue.get(timeout=1.0)
+            except queue_module.Empty:
+                # A worker killed hard (OOM, segfault) never sends its
+                # close/error message; without this liveness check the
+                # coordinator would block on the queue forever.
+                for shard_id in sorted(open_shards):
+                    worker = workers[shard_id]
+                    if not worker.is_alive() and worker.exitcode != 0:
+                        raise RuntimeError(
+                            f"shard {shard_id} worker died with exit code "
+                            f"{worker.exitcode} before closing its stream"
+                        )
+                continue
+            kind = message[0]
+            if kind == "summary":
+                _, shard_id, payload = message
+                verdicts = coordinator.add_serialized(shard_id, payload)
+            elif kind == "close":
+                _, shard_id, n_records, late_records = message
+                shard_records[shard_id] = n_records
+                coordinator.record_late(late_records)
+                verdicts = coordinator.close_shard(shard_id)
+                open_shards.discard(shard_id)
+            else:
+                _, shard_id, detail = message
+                raise RuntimeError(f"shard {shard_id} failed:\n{detail}")
+            if on_detection is not None:
+                for verdict in verdicts:
+                    on_detection(verdict)
+        for worker in workers:
+            worker.join()
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join()
+    report = coordinator.finish()
+    elapsed = time.perf_counter() - start
+    return ClusterResult(
+        report=report,
+        n_shards=n_shards,
+        n_records=report.n_records,
+        elapsed=elapsed,
+        shard_records=shard_records,
+    )

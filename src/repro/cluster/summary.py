@@ -1,0 +1,353 @@
+"""Mergeable per-bin shard summaries (the cluster's unit of exchange).
+
+Section 8 of the paper poses distributed deployment as the open systems
+problem: monitors at each PoP observe feature histograms locally and a
+central point mines anomalies network-wide.  The object that makes this
+work is a *mergeable summary* — each shard reduces its slice of the
+records for one time bin into a :class:`ShardBinSummary`, ships it to
+the coordinator, and the coordinator folds the shards together with an
+associative, commutative :meth:`ShardBinSummary.merge` before entropy
+is ever computed.  Because the merge happens on raw counts (exact
+histograms) or on Count-Min counter tables (sketch mode), *any*
+partition of the records across shards yields the same merged summary:
+bit-identical in exact mode, within the sketch estimator's tolerance in
+sketch mode (conservative update makes a single-pass sketch slightly
+tighter than a merged one, but point queries never under-estimate in
+either).
+
+Summaries serialize to a compact little-endian wire format
+(:meth:`to_bytes` / :meth:`from_bytes`) so worker processes — or, in a
+real deployment, PoP monitors — can ship them over queues and sockets
+without pickling.  Exact-mode payloads are canonical: two summaries
+describing the same counts serialize to identical bytes regardless of
+ingestion order or sharding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.entropy import sample_entropy
+from repro.flows.features import N_FEATURES
+from repro.flows.sketches import CountMinSketch, canonical_histogram, entropy_from_sketch
+from repro.stream.window import BinAccumulator, BinSummary
+
+__all__ = ["ShardBinSummary", "merge_summaries"]
+
+_MAGIC = b"RBS1"
+#: magic, mode, bin, n_od_flows, n_records, width, depth, sketch_seed
+_HEADER = struct.Struct("<4sBqiqiiq")
+_OD_HEADER = struct.Struct("<i")
+_COUNT = struct.Struct("<i")
+_TOTAL = struct.Struct("<q")
+
+_EXACT, _SKETCH = 0, 1
+
+
+class _ExactFeature:
+    """One (OD, feature) histogram in canonical (sorted, grouped) form."""
+
+    __slots__ = ("values", "counts")
+
+    def __init__(self, values: np.ndarray, counts: np.ndarray) -> None:
+        self.values = values
+        self.counts = counts
+
+    def merge(self, other: "_ExactFeature") -> "_ExactFeature":
+        values, counts = canonical_histogram(
+            np.concatenate([self.values, other.values]),
+            np.concatenate([self.counts, other.counts]),
+        )
+        return _ExactFeature(values, counts)
+
+    def entropy(self) -> float:
+        if self.counts.size == 0:
+            return 0.0
+        return sample_entropy(self.counts)
+
+
+class _SketchFeature:
+    """One (OD, feature) Count-Min sketch plus its candidate-value set."""
+
+    __slots__ = ("sketch", "candidates")
+
+    def __init__(self, sketch: CountMinSketch, candidates: set[int]) -> None:
+        self.sketch = sketch
+        self.candidates = candidates
+
+    def merge(self, other: "_SketchFeature") -> "_SketchFeature":
+        return _SketchFeature(
+            self.sketch.merge(other.sketch), self.candidates | other.candidates
+        )
+
+    def entropy(self) -> float:
+        # Sorted candidates: float summation order (and hence the
+        # estimate's last bits) must not depend on set insertion
+        # history, or identical partitions would score differently.
+        candidates = np.fromiter(
+            sorted(self.candidates), dtype=np.int64, count=len(self.candidates)
+        )
+        return entropy_from_sketch(self.sketch, candidates)
+
+
+class ShardBinSummary:
+    """One shard's reduction of one time bin, mergeable across shards.
+
+    State per active OD flow: four per-feature summaries (exact
+    canonical histograms, or Count-Min sketches plus candidate sets)
+    and int64 packet/byte counters.  ``merge`` is associative and
+    commutative, so a coordinator may fold shards in any order.
+
+    Attributes:
+        bin: Global bin index.
+        n_od_flows: Ensemble width p (must agree to merge).
+        exact: Exact histograms (True) or Count-Min sketches.
+        width / depth / sketch_seed: Sketch geometry (sketch mode).
+        packets / bytes: ``(p,)`` int64 volume counters.
+        n_records: Records reduced into this summary.
+    """
+
+    def __init__(
+        self,
+        bin: int,
+        n_od_flows: int,
+        exact: bool = True,
+        width: int = 2048,
+        depth: int = 4,
+        sketch_seed: int = 0,
+    ) -> None:
+        self.bin = int(bin)
+        self.n_od_flows = int(n_od_flows)
+        self.exact = bool(exact)
+        # Sketch geometry is meaningless in exact mode; normalise it to
+        # zero so exact payloads stay canonical (byte-identical for the
+        # same counts) no matter what sketch knobs the monitor carried.
+        self.width = 0 if self.exact else int(width)
+        self.depth = 0 if self.exact else int(depth)
+        self.sketch_seed = 0 if self.exact else int(sketch_seed)
+        self.packets = np.zeros(n_od_flows, dtype=np.int64)
+        self.bytes = np.zeros(n_od_flows, dtype=np.int64)
+        self.n_records = 0
+        self._features: dict[int, list] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_accumulator(
+        cls, accumulator: BinAccumulator, bin_index: int
+    ) -> "ShardBinSummary":
+        """Freeze a :class:`repro.stream.window.BinAccumulator`.
+
+        This is how a shard monitor exports a closed bin: the
+        accumulator's pre-entropy state becomes the mergeable summary.
+        Exact parts are canonicalised and candidate sets copied; sketch
+        tables are handed off as-is, which is safe because the stage
+        discards the accumulator when it closes a bin.
+        """
+        summary = cls(
+            bin_index,
+            accumulator.n_od_flows,
+            exact=accumulator.exact,
+            width=accumulator.width,
+            depth=accumulator.depth,
+            sketch_seed=accumulator.seed,
+        )
+        features, packets, byte_counts = accumulator.export_state()
+        summary.packets = packets.copy()
+        summary.bytes = byte_counts.copy()
+        summary.n_records = accumulator.n_records
+        for od, entry in features.items():
+            if accumulator.exact:
+                summary._features[od] = [
+                    _ExactFeature(*entry[k].canonical()) for k in range(N_FEATURES)
+                ]
+            else:
+                summary._features[od] = [
+                    _SketchFeature(entry[k].sketch, set(entry[k].candidates))
+                    for k in range(N_FEATURES)
+                ]
+        return summary
+
+    # -- algebra ----------------------------------------------------------
+
+    def _check_mergeable(self, other: "ShardBinSummary") -> None:
+        if self.bin != other.bin:
+            raise ValueError(
+                f"cannot merge summaries of different bins ({self.bin} != {other.bin})"
+            )
+        if self.n_od_flows != other.n_od_flows:
+            raise ValueError("cannot merge summaries of different ensembles")
+        if self.exact != other.exact:
+            raise ValueError("cannot merge exact and sketch summaries")
+        if not self.exact and (self.width, self.depth, self.sketch_seed) != (
+            other.width,
+            other.depth,
+            other.sketch_seed,
+        ):
+            raise ValueError("cannot merge sketches of different geometry")
+
+    def merge(self, other: "ShardBinSummary") -> "ShardBinSummary":
+        """Fold two shards' summaries of the same bin (associative,
+        commutative; neither input is mutated)."""
+        self._check_mergeable(other)
+        merged = ShardBinSummary(
+            self.bin,
+            self.n_od_flows,
+            exact=self.exact,
+            width=self.width,
+            depth=self.depth,
+            sketch_seed=self.sketch_seed,
+        )
+        merged.packets = self.packets + other.packets
+        merged.bytes = self.bytes + other.bytes
+        merged.n_records = self.n_records + other.n_records
+        for od in self._features.keys() | other._features.keys():
+            mine, theirs = self._features.get(od), other._features.get(od)
+            if mine is None:
+                merged._features[od] = list(theirs)
+            elif theirs is None:
+                merged._features[od] = list(mine)
+            else:
+                merged._features[od] = [
+                    mine[k].merge(theirs[k]) for k in range(N_FEATURES)
+                ]
+        return merged
+
+    # -- scoring hand-off --------------------------------------------------
+
+    @property
+    def active_ods(self) -> list[int]:
+        """OD flows with any data, sorted."""
+        return sorted(self._features)
+
+    def entropy_matrix(self) -> np.ndarray:
+        """``(p, 4)`` per-feature sample entropies (zeros for idle ODs)."""
+        entropy = np.zeros((self.n_od_flows, N_FEATURES))
+        for od, entry in self._features.items():
+            for k in range(N_FEATURES):
+                entropy[od, k] = entry[k].entropy()
+        return entropy
+
+    def to_bin_summary(self) -> BinSummary:
+        """Render as the :class:`BinSummary` the detection engine scores."""
+        return BinSummary(
+            bin=self.bin,
+            entropy=self.entropy_matrix(),
+            packets=self.packets.astype(np.float64),
+            bytes=self.bytes.astype(np.float64),
+            n_records=self.n_records,
+        )
+
+    # -- wire format -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact wire format (canonical in exact mode)."""
+        mode = _EXACT if self.exact else _SKETCH
+        parts = [
+            _HEADER.pack(
+                _MAGIC,
+                mode,
+                self.bin,
+                self.n_od_flows,
+                self.n_records,
+                self.width,
+                self.depth,
+                self.sketch_seed,
+            ),
+            self.packets.astype("<i8", copy=False).tobytes(),
+            self.bytes.astype("<i8", copy=False).tobytes(),
+            _COUNT.pack(len(self._features)),
+        ]
+        for od in sorted(self._features):
+            parts.append(_OD_HEADER.pack(od))
+            for feature in self._features[od]:
+                if self.exact:
+                    parts.append(_COUNT.pack(len(feature.values)))
+                    parts.append(feature.values.astype("<i8", copy=False).tobytes())
+                    parts.append(feature.counts.astype("<i8", copy=False).tobytes())
+                else:
+                    candidates = np.fromiter(
+                        sorted(feature.candidates),
+                        dtype="<i8",
+                        count=len(feature.candidates),
+                    )
+                    parts.append(_TOTAL.pack(feature.sketch.total))
+                    parts.append(_COUNT.pack(len(candidates)))
+                    parts.append(
+                        feature.sketch.table.astype("<i8", copy=False).tobytes()
+                    )
+                    parts.append(candidates.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardBinSummary":
+        """Rebuild a summary serialized by :meth:`to_bytes`."""
+        if data[:4] != _MAGIC:
+            raise ValueError("not a ShardBinSummary payload")
+        (_, mode, bin_index, p, n_records, width, depth, sketch_seed) = _HEADER.unpack_from(
+            data, 0
+        )
+        offset = _HEADER.size
+        summary = cls(
+            bin_index,
+            p,
+            exact=(mode == _EXACT),
+            width=width,
+            depth=depth,
+            sketch_seed=sketch_seed,
+        )
+        summary.n_records = n_records
+
+        def take_array(n: int) -> np.ndarray:
+            nonlocal offset
+            array = np.frombuffer(data, dtype="<i8", count=n, offset=offset)
+            offset += 8 * n
+            return array.astype(np.int64)
+
+        summary.packets = take_array(p)
+        summary.bytes = take_array(p)
+        (n_active,) = _COUNT.unpack_from(data, offset)
+        offset += _COUNT.size
+        for _ in range(n_active):
+            (od,) = _OD_HEADER.unpack_from(data, offset)
+            offset += _OD_HEADER.size
+            entry = []
+            for _ in range(N_FEATURES):
+                if summary.exact:
+                    (n,) = _COUNT.unpack_from(data, offset)
+                    offset += _COUNT.size
+                    entry.append(_ExactFeature(take_array(n), take_array(n)))
+                else:
+                    (total,) = _TOTAL.unpack_from(data, offset)
+                    offset += _TOTAL.size
+                    (n_candidates,) = _COUNT.unpack_from(data, offset)
+                    offset += _COUNT.size
+                    sketch = CountMinSketch(width=width, depth=depth, seed=sketch_seed)
+                    sketch.table = take_array(depth * width).reshape(depth, width)
+                    sketch.total = total
+                    entry.append(
+                        _SketchFeature(sketch, set(take_array(n_candidates).tolist()))
+                    )
+            summary._features[od] = entry
+        if offset != len(data):
+            raise ValueError("trailing bytes in ShardBinSummary payload")
+        return summary
+
+    def __repr__(self) -> str:
+        mode = "exact" if self.exact else f"sketch w={self.width} d={self.depth}"
+        return (
+            f"ShardBinSummary(bin={self.bin}, active_ods={len(self._features)}, "
+            f"records={self.n_records}, {mode})"
+        )
+
+
+def merge_summaries(summaries) -> ShardBinSummary:
+    """Fold an iterable of same-bin summaries into one (order-free)."""
+    result = None
+    for summary in summaries:
+        result = summary if result is None else result.merge(summary)
+    if result is None:
+        raise ValueError("merge_summaries needs at least one summary")
+    return result

@@ -28,6 +28,7 @@ from repro.core.entropy import sample_entropy
 __all__ = [
     "CountMinSketch",
     "aggregate_histogram",
+    "canonical_histogram",
     "entropy_from_sketch",
     "sketch_histogram",
 ]
@@ -47,6 +48,25 @@ def aggregate_histogram(
     uniq, inverse = np.unique(values, return_inverse=True)
     if uniq.size == values.size:
         return values, counts
+    agg = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(agg, inverse, counts)
+    return uniq, agg
+
+
+def canonical_histogram(
+    values: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group a histogram by value AND sort by value, always.
+
+    Unlike :func:`aggregate_histogram` (which skips the sort when all
+    values are already unique), the result is a *canonical form*: any
+    two histograms describing the same value->count mapping serialize
+    to identical bytes.  The mergeable shard summaries rely on this so
+    that every partition of the records yields the same wire payload.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    uniq, inverse = np.unique(values, return_inverse=True)
     agg = np.zeros(uniq.size, dtype=np.int64)
     np.add.at(agg, inverse, counts)
     return uniq, agg
@@ -166,6 +186,33 @@ class CountMinSketch:
     def n_distinct_seen(self) -> int:
         """(Capped) number of distinct values observed."""
         return len(self._distinct_estimate)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the counter state to a compact little-endian blob.
+
+        The payload carries (width, depth, seed, total, table); the
+        distinct-value scratch set is *not* serialized — it only backs
+        the advisory :attr:`n_distinct_seen`, and shard deployments
+        track candidate values outside the sketch (see
+        :mod:`repro.cluster.summary`).
+        """
+        header = np.array(
+            [self.width, self.depth, self.seed, self.total], dtype="<i8"
+        )
+        return header.tobytes() + self.table.astype("<i8", copy=False).tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CountMinSketch":
+        """Rebuild a sketch serialized by :meth:`to_bytes`."""
+        header = np.frombuffer(data[:32], dtype="<i8")
+        width, depth, seed, total = (int(x) for x in header)
+        sketch = cls(width=width, depth=depth, seed=seed)
+        table = np.frombuffer(data[32:], dtype="<i8")
+        if table.size != depth * width:
+            raise ValueError("truncated CountMinSketch payload")
+        sketch.table = table.reshape(depth, width).astype(np.int64)
+        sketch.total = total
+        return sketch
 
 
 def sketch_histogram(

@@ -39,8 +39,13 @@ def iter_record_chunks(
         chunk_records: Upper bound on records per emitted chunk.
 
     Yields:
-        Non-empty :class:`FlowRecordBatch` chunks covering exactly the
-        source records in their original order.
+        Non-empty :class:`FlowRecordBatch` chunks of at most
+        ``chunk_records`` rows covering exactly the source records in
+        their original order.  A batch that already fits the bound while
+        nothing is pending is forwarded *as-is* (no array copies) — the
+        hot ingest path when the collector's export batches are already
+        well-sized — so chunk boundaries, though never exceeding the
+        bound, depend on how the source was batched.
     """
     if chunk_records < 1:
         raise ValueError("chunk_records must be positive")
@@ -49,8 +54,13 @@ def iter_record_chunks(
     pending: list[FlowRecordBatch] = []
     pending_rows = 0
     for batch in source:
-        start = 0
         n = len(batch)
+        if n == 0:
+            continue
+        if pending_rows == 0 and n <= chunk_records:
+            yield batch
+            continue
+        start = 0
         while start < n:
             take = min(n - start, chunk_records - pending_rows)
             piece = batch.select(np.arange(start, start + take))
@@ -102,12 +112,15 @@ def synthetic_record_stream(
         for od in ods:
             od = int(od)
             for b in group:
-                rng = np.random.default_rng(
-                    np.random.SeedSequence([generator.config.seed, seed, od, b])
-                )
+                # record_rng pins the draw to (seed, od, b) alone, so a
+                # cluster shard materialising only its OD slice yields
+                # records bit-identical to a whole-trace sweep.
                 per_bin[b].append(
                     generator.materialize_bin(
-                        od, b, rng=rng, max_records=max_records_per_od
+                        od,
+                        b,
+                        rng=generator.record_rng(od, b, salt=seed),
+                        max_records=max_records_per_od,
                     )
                 )
             # materialize_bin caches the OD's full histogram stream;

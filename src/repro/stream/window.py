@@ -27,7 +27,12 @@ from repro.core.entropy import sample_entropy
 from repro.flows.binning import BIN_SECONDS
 from repro.flows.features import N_FEATURES, FEATURES
 from repro.flows.records import FlowRecordBatch
-from repro.flows.sketches import CountMinSketch, aggregate_histogram, entropy_from_sketch
+from repro.flows.sketches import (
+    CountMinSketch,
+    aggregate_histogram,
+    canonical_histogram,
+    entropy_from_sketch,
+)
 from repro.net.routing import Router
 from repro.net.topology import Topology
 
@@ -97,6 +102,19 @@ class _FeatureSummary:
         return entropy_from_sketch(
             self.sketch, np.fromiter(self.candidates, dtype=np.int64, count=len(self.candidates))
         )
+
+    def canonical(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exact mode only: the accumulated histogram in canonical form
+        (values sorted, counts grouped) — the representation the
+        mergeable shard summaries serialize."""
+        if self.parts is None:
+            raise ValueError("canonical() requires exact mode")
+        if not self.parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        values = np.concatenate([v for v, _ in self.parts])
+        counts = np.concatenate([c for _, c in self.parts])
+        return canonical_histogram(values, counts)
 
 
 class BinAccumulator:
@@ -178,6 +196,17 @@ class BinAccumulator:
             bytes=self._bytes.astype(np.float64),
             n_records=self.n_records,
         )
+
+    def export_state(self):
+        """Raw accumulated state: ``(features, packets, bytes)``.
+
+        ``features`` maps ``od -> [_FeatureSummary] * 4``; the volume
+        arrays are the live int64 counters (callers must copy).  This is
+        the hand-off the mergeable shard summaries
+        (:mod:`repro.cluster.summary`) build from, so a shard can ship
+        its pre-entropy state instead of a finished matrix.
+        """
+        return self._features, self._packets, self._bytes
 
 
 @dataclass
@@ -293,8 +322,18 @@ class StreamFeatureStage:
             self._current.add_histograms(int(od), hists, packets, byte_count)
         return closed
 
-    def _close(self) -> BinSummary:
-        summary = self._current.finalize(self._current_bin)
+    def _finalize(self, accumulator: BinAccumulator, bin_index: int):
+        """Build the emitted summary for one closed bin.
+
+        Override point: the default emits a ready-to-score
+        :class:`BinSummary`; a shard monitor instead exports the
+        accumulator's mergeable state (entropy deferred to the central
+        merge point).
+        """
+        return accumulator.finalize(bin_index)
+
+    def _close(self):
+        summary = self._finalize(self._current, self._current_bin)
         self._current_bin += 1
         self._current = self._new_accumulator()
         return summary
@@ -305,7 +344,7 @@ class StreamFeatureStage:
             return []
         if self._current.n_records == 0 and not self._current._features:
             return []
-        summary = self._current.finalize(self._current_bin)
+        summary = self._finalize(self._current, self._current_bin)
         self._current = None
         self._current_bin = None
         return [summary]

@@ -395,6 +395,19 @@ class TrafficGenerator:
         """
         self._stream_cache.pop(od, None)
 
+    def record_rng(self, od: int, b: int, salt: int = 0) -> np.random.Generator:
+        """Independent RNG for one (OD flow, bin) record draw.
+
+        Seeded from ``SeedSequence([config.seed, salt, od, b])``, so
+        *any* process materialising the same (OD, bin) — one reader
+        sweeping the whole trace, or one shard of a cluster owning an
+        OD slice — draws bit-identical records.  The sharded
+        deployment's partition-independence rests on this contract.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, salt, int(od), int(b)])
+        )
+
     # -- materialisation to real feature values -----------------------------
 
     def _pool(self, pop_index: int) -> AddressPool:

@@ -34,8 +34,11 @@ class TestIterRecordChunks:
         chunks = list(iter_record_chunks(batches, chunk_records=16))
         assert sum(len(c) for c in chunks) == 78
         assert all(len(c) <= 16 for c in chunks)
-        # All chunks except the last are exactly full.
-        assert all(len(c) == 16 for c in chunks[:-1])
+        # An already-fitting batch with nothing pending passes through
+        # as the same object (the no-copy hot path); oversized batches
+        # are split into full chunks with the remainder carried over.
+        assert chunks[0] is batches[0]
+        assert [len(c) for c in chunks[1:]] == [16, 16, 16, 16, 4]
         merged = FlowRecordBatch.concat(chunks)
         original = FlowRecordBatch.concat(batches)
         np.testing.assert_array_equal(merged.src_ip, original.src_ip)
@@ -45,8 +48,9 @@ class TestIterRecordChunks:
         rng = np.random.default_rng(1)
         assert list(iter_record_chunks([], chunk_records=8)) == []
         assert list(iter_record_chunks([FlowRecordBatch.empty()], chunk_records=8)) == []
-        chunks = list(iter_record_chunks(_random_batch(5, rng), chunk_records=8))
-        assert len(chunks) == 1 and len(chunks[0]) == 5
+        batch = _random_batch(5, rng)
+        chunks = list(iter_record_chunks(batch, chunk_records=8))
+        assert len(chunks) == 1 and chunks[0] is batch
 
     def test_rejects_bad_chunk_size(self):
         with pytest.raises(ValueError):
