@@ -13,6 +13,8 @@ prose.
 from __future__ import annotations
 
 import json
+import statistics
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -35,6 +37,42 @@ def write_json_result(name: str, payload: dict) -> Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def timed_repeats(func, repeats: int = 3, *args, **kwargs):
+    """Run ``func`` ``repeats`` times; returns (first_result, elapsed list).
+
+    Perf benchmarks use this so the persisted JSON reports a median
+    with min/max spread rather than one noisy sample.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result = None
+    elapsed = []
+    for i in range(repeats):
+        start = time.perf_counter()
+        out = func(*args, **kwargs)
+        elapsed.append(time.perf_counter() - start)
+        if i == 0:
+            result = out
+    return result, elapsed
+
+
+def rate_summary(n_items: int, elapsed: list[float]) -> dict:
+    """Median-of-N items/sec with min/max spread, for JSON results.
+
+    Single-run numbers made before/after comparisons untrustworthy;
+    every rate in the persisted JSON now carries its spread.  The
+    layout is consumed by ``tools/check_perf.py`` (which also accepts
+    the old scalar form for pre-spread baselines).
+    """
+    rates = sorted(n_items / t for t in elapsed)
+    return {
+        "median": statistics.median(rates),
+        "min": rates[0],
+        "max": rates[-1],
+        "n_repeats": len(rates),
+    }
 
 
 def run_once(benchmark, func, *args, **kwargs):

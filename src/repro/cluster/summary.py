@@ -29,9 +29,9 @@ import struct
 
 import numpy as np
 
-from repro.core.entropy import sample_entropy
 from repro.flows.features import N_FEATURES
-from repro.flows.sketches import CountMinSketch, canonical_histogram, entropy_from_sketch
+from repro.flows.sketches import CountMinSketch, entropy_from_sketch
+from repro.kernels import grouped_entropy, merge_histograms
 from repro.stream.window import BinAccumulator, BinSummary
 
 __all__ = ["ShardBinSummary", "merge_summaries"]
@@ -56,16 +56,9 @@ class _ExactFeature:
         self.counts = counts
 
     def merge(self, other: "_ExactFeature") -> "_ExactFeature":
-        values, counts = canonical_histogram(
-            np.concatenate([self.values, other.values]),
-            np.concatenate([self.counts, other.counts]),
+        return _ExactFeature(
+            *merge_histograms(self.values, self.counts, other.values, other.counts)
         )
-        return _ExactFeature(values, counts)
-
-    def entropy(self) -> float:
-        if self.counts.size == 0:
-            return 0.0
-        return sample_entropy(self.counts)
 
 
 class _SketchFeature:
@@ -154,18 +147,34 @@ class ShardBinSummary:
             depth=accumulator.depth,
             sketch_seed=accumulator.seed,
         )
-        features, packets, byte_counts = accumulator.export_state()
-        summary.packets = packets.copy()
-        summary.bytes = byte_counts.copy()
+        summary.packets, summary.bytes = accumulator.export_volumes()
         summary.n_records = accumulator.n_records
-        for od, entry in features.items():
-            if accumulator.exact:
+        if accumulator.exact:
+            # The kernel's sorted runs ARE the canonical per-OD
+            # histograms (values ascending, counts grouped): slice them
+            # straight into the summary, one grouped reduction per
+            # feature instead of a canonicalisation per (OD, feature).
+            for k in range(N_FEATURES):
+                runs = accumulator.feature_runs(k)
+                for i, od in enumerate(runs.group_ids):
+                    values, counts = runs.slice(i)
+                    entry = summary._features.setdefault(
+                        int(od), [None] * N_FEATURES
+                    )
+                    entry[k] = _ExactFeature(values.copy(), counts.copy())
+            empty = np.zeros(0, dtype=np.int64)
+            for entry in summary._features.values():
+                for k in range(N_FEATURES):
+                    if entry[k] is None:
+                        entry[k] = _ExactFeature(empty, empty)
+        else:
+            banks, candidates = accumulator.sketch_state()
+            for od, entry in candidates.items():
                 summary._features[od] = [
-                    _ExactFeature(*entry[k].canonical()) for k in range(N_FEATURES)
-                ]
-            else:
-                summary._features[od] = [
-                    _SketchFeature(entry[k].sketch, set(entry[k].candidates))
+                    # Views, not copies: the stage discards the
+                    # accumulator (and with it write access to the
+                    # banks) when the bin closes.
+                    _SketchFeature(banks[k].sketch(od, copy=False), set(entry[k]))
                     for k in range(N_FEATURES)
                 ]
         return summary
@@ -223,11 +232,28 @@ class ShardBinSummary:
         return sorted(self._features)
 
     def entropy_matrix(self) -> np.ndarray:
-        """``(p, 4)`` per-feature sample entropies (zeros for idle ODs)."""
+        """``(p, 4)`` per-feature sample entropies (zeros for idle ODs).
+
+        Exact mode funnels every OD's counts into one grouped-entropy
+        kernel pass per feature; sketch mode estimates per sketch.
+        """
         entropy = np.zeros((self.n_od_flows, N_FEATURES))
-        for od, entry in self._features.items():
+        if not self._features:
+            return entropy
+        if self.exact:
+            ods = self.active_ods
             for k in range(N_FEATURES):
-                entropy[od, k] = entry[k].entropy()
+                counts = [self._features[od][k].counts for od in ods]
+                lengths = np.array([len(c) for c in counts], dtype=np.int64)
+                starts = np.zeros(len(ods) + 1, dtype=np.int64)
+                np.cumsum(lengths, out=starts[1:])
+                entropy[ods, k] = grouped_entropy(
+                    np.concatenate(counts) if counts else np.zeros(0), starts
+                )
+        else:
+            for od, entry in self._features.items():
+                for k in range(N_FEATURES):
+                    entropy[od, k] = entry[k].entropy()
         return entropy
 
     def to_bin_summary(self) -> BinSummary:

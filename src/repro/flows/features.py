@@ -15,10 +15,11 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.core.entropy import sample_entropy
 from repro.flows.records import FlowRecordBatch
+from repro.kernels import group_reduce
 
 __all__ = [
+    "grouped_histograms",
     "FEATURES",
     "N_FEATURES",
     "SRC_IP",
@@ -62,14 +63,35 @@ class FeatureHistogram:
     def from_values(
         cls, values: Iterable[int], weights: Iterable[int] | None = None
     ) -> "FeatureHistogram":
-        """Build from raw feature values, optionally packet-weighted."""
+        """Build from raw feature values, optionally packet-weighted.
+
+        Aggregation runs through the grouped-reduction kernel (one sort
+        + ``reduceat``), not a per-element Python loop.
+        """
+        values = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=np.int64
+        )
+        if weights is not None:
+            weights = np.asarray(
+                weights if isinstance(weights, np.ndarray) else list(weights),
+                dtype=np.int64,
+            )
+        runs = group_reduce(np.zeros(len(values), dtype=np.int64), values, weights)
+        return cls.from_grouped(runs.values, runs.counts)
+
+    @classmethod
+    def from_grouped(
+        cls, values: np.ndarray, counts: np.ndarray
+    ) -> "FeatureHistogram":
+        """Build from an already-aggregated (values, counts) histogram.
+
+        The pairs must be unique by value with positive counts — the
+        form :func:`repro.kernels.group_reduce` emits.
+        """
         hist = cls()
-        if weights is None:
-            for value in values:
-                hist.add(int(value), 1)
-        else:
-            for value, weight in zip(values, weights):
-                hist.add(int(value), int(weight))
+        hist._counts = Counter(
+            dict(zip(map(int, values), map(int, counts)))
+        )
         return hist
 
     def add(self, value: int, count: int = 1) -> None:
@@ -119,6 +141,11 @@ class FeatureHistogram:
 
     def entropy(self) -> float:
         """Sample entropy H(X) of the histogram, in bits."""
+        # Imported here, not at module level: repro.core's package init
+        # pulls classify, which imports this module — a cycle that bites
+        # whenever repro.flows loads before repro.core.
+        from repro.core.entropy import sample_entropy
+
         return sample_entropy(self.counts_array())
 
     def top(self, k: int = 5) -> list[tuple[int, int]]:
@@ -142,6 +169,24 @@ class FeatureHistogram:
 
     def __repr__(self) -> str:
         return f"FeatureHistogram(distinct={self.n_distinct}, total={self.total})"
+
+
+def grouped_histograms(
+    groups: np.ndarray,
+    values: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> dict[int, FeatureHistogram]:
+    """Histogram-per-group bulk constructor.
+
+    One grouped reduction over the whole batch replaces a
+    mask-and-Counter pass per group; groups with no positive-weight
+    observations are absent from the result.
+    """
+    runs = group_reduce(groups, values, weights)
+    return {
+        int(gid): FeatureHistogram.from_grouped(*runs.slice(i))
+        for i, gid in enumerate(runs.group_ids)
+    }
 
 
 @dataclass

@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.flows.binning import TimeBins, bin_flows
-from repro.flows.features import FEATURES, N_FEATURES, BinFeatures
+from repro.flows.binning import TimeBins
+from repro.flows.features import FEATURES, N_FEATURES
 from repro.flows.records import FlowRecordBatch
+from repro.kernels import group_reduce, group_sums
 from repro.net.routing import Router
 from repro.net.topology import Topology
 
@@ -144,7 +145,12 @@ class ODFlowAggregator:
 
     Records are attributed to OD flows by (ingress PoP, resolved egress
     PoP) and aggregated into packet-weighted feature histograms per
-    (bin, OD flow); entropy is computed per histogram.
+    (bin, OD flow); entropy is computed per histogram.  Everything runs
+    through the grouped-reduction kernel (:mod:`repro.kernels`) on the
+    composite ``bin * p + od`` group key: OD attribution is one
+    vectorised longest-prefix lookup, histogramming one sort +
+    ``reduceat`` per feature, and all per-(bin, OD) entropies fall out
+    of a single grouped pass — no per-OD Python loop anywhere.
 
     Attributes:
         topology: The backbone (defines p and per-PoP prefixes).
@@ -158,9 +164,7 @@ class ODFlowAggregator:
     topology: Topology
     router: Router | None = None
     apply_anonymization: bool = True
-    bin_features: dict[tuple[int, int], BinFeatures] = field(
-        default_factory=dict, repr=False
-    )
+    _parts: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.router is None:
@@ -168,35 +172,55 @@ class ODFlowAggregator:
 
     def aggregate(self, batch: FlowRecordBatch, bins: TimeBins) -> TrafficCube:
         """Aggregate one batch spanning the whole bin grid."""
-        self.bin_features.clear()
-        for b, sub in enumerate(bin_flows(batch, bins)):
-            self._accumulate(b, sub)
-        return self._finalize(bins)
+        self._parts.clear()
+        try:
+            self._accumulate(batch, bins)
+            return self._finalize(bins)
+        finally:
+            # Don't pin the record columns past the call (success or
+            # not): the cube is small, the stash is the whole trace.
+            self._parts.clear()
 
-    def _accumulate(self, b: int, batch: FlowRecordBatch) -> None:
+    def _accumulate(self, batch: FlowRecordBatch, bins: TimeBins) -> None:
+        """Attribute one batch to (bin, OD) groups and stash the columns."""
         if len(batch) == 0:
             return
-        ods = np.array(
-            [
-                self.router.resolve_od(int(pop), int(dst))
-                for pop, dst in zip(batch.ingress_pop, batch.dst_ip)
-            ],
-            dtype=np.int64,
-        )
+        idx = bins.indices(batch.timestamp)
+        in_range = idx >= 0
+        if not in_range.all():
+            # Records outside the grid are dropped, mirroring collectors
+            # that discard records outside the export window.
+            batch = batch.select(in_range)
+            idx = idx[in_range]
+            if len(batch) == 0:
+                return
+        ods = self.router.resolve_ods_mixed(batch.ingress_pop, batch.dst_ip)
         if self.apply_anonymization and self.topology.anonymization_bits:
             batch = batch.anonymized(self.topology.anonymization_bits)
-        for od in np.unique(ods):
-            sub = batch.select(ods == od)
-            features = BinFeatures.from_batch(sub)
-            key = (b, int(od))
-            if key in self.bin_features:
-                features = self.bin_features[key].merge(features)
-            self.bin_features[key] = features
+        groups = idx * self.topology.n_od_flows + ods
+        self._parts.append((groups, batch))
 
     def _finalize(self, bins: TimeBins) -> TrafficCube:
         cube = TrafficCube.zeros(bins, self.topology.n_od_flows, self.topology.name)
-        for (b, od), features in self.bin_features.items():
-            cube.packets[b, od] = features.packets
-            cube.bytes[b, od] = features.bytes
-            cube.entropy[b, od, :] = features.entropies()
+        if not self._parts:
+            return cube
+        p = self.topology.n_od_flows
+        n_groups = bins.n_bins * p
+        groups = (
+            self._parts[0][0]
+            if len(self._parts) == 1
+            else np.concatenate([g for g, _ in self._parts])
+        )
+        column = lambda name: (
+            getattr(self._parts[0][1], name)
+            if len(self._parts) == 1
+            else np.concatenate([getattr(b, name) for _, b in self._parts])
+        )
+        packets = column("packets")
+        cube.packets[:] = group_sums(groups, packets, n_groups).reshape(-1, p)
+        cube.bytes[:] = group_sums(groups, column("bytes"), n_groups).reshape(-1, p)
+        entropy_flat = cube.entropy.reshape(n_groups, N_FEATURES)
+        for k, name in enumerate(FEATURES):
+            runs = group_reduce(groups, column(name), packets)
+            entropy_flat[runs.group_ids, k] = runs.entropies()
         return cube

@@ -27,13 +27,38 @@ from repro.core.entropy import sample_entropy
 
 __all__ = [
     "CountMinSketch",
+    "SketchBank",
     "aggregate_histogram",
     "canonical_histogram",
     "entropy_from_sketch",
+    "entropy_from_sketch_runs",
     "sketch_histogram",
 ]
 
 _PRIME = (1 << 61) - 1
+
+
+_HASH_PARAM_CACHE: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _hash_params(width: int, depth: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The (a, b) row-hash coefficients for a (width, depth, seed) geometry.
+
+    Shared by :class:`CountMinSketch` and :class:`SketchBank` so a bank
+    slot and a standalone sketch with the same geometry hash identically
+    (and therefore merge / compare exactly).  Memoised — a streaming bin
+    close materialises thousands of sketches with the same geometry,
+    and regenerating the coefficients dominated that path.  Callers
+    must treat the arrays as read-only (they only ever hash with them).
+    """
+    key = (width, depth, seed)
+    params = _HASH_PARAM_CACHE.get(key)
+    if params is None:
+        rng = np.random.default_rng(np.random.SeedSequence([seed, width, depth]))
+        a = rng.integers(1, _PRIME, size=depth, dtype=np.int64)
+        b = rng.integers(0, _PRIME, size=depth, dtype=np.int64)
+        params = _HASH_PARAM_CACHE[key] = (a, b)
+    return params
 
 
 def aggregate_histogram(
@@ -88,9 +113,7 @@ class CountMinSketch:
         self.width = width
         self.depth = depth
         self.seed = seed
-        rng = np.random.default_rng(np.random.SeedSequence([seed, width, depth]))
-        self._a = rng.integers(1, _PRIME, size=depth, dtype=np.int64)
-        self._b = rng.integers(0, _PRIME, size=depth, dtype=np.int64)
+        self._a, self._b = _hash_params(width, depth, seed)
         self.table = np.zeros((depth, width), dtype=np.int64)
         self.total = 0
         self._distinct_estimate: set[int] = set()
@@ -215,6 +238,156 @@ class CountMinSketch:
         return sketch
 
 
+class SketchBank:
+    """Many Count-Min sketches updated as one batched array operation.
+
+    The streaming stage keeps one sketch per (active OD flow, feature);
+    updating them one at a time costs a Python call per OD per chunk.
+    A bank holds all of a feature's per-group sketches in a single
+    ``(slots, depth, width)`` counter array sharing one set of hash
+    coefficients, so a whole chunk's grouped runs — any number of
+    groups — update in one gather / ``np.maximum.at`` scatter pass.
+
+    Per-group semantics are *identical* to calling
+    :meth:`CountMinSketch.add_histogram` once per group with that
+    group's aggregated (values, counts): estimates are read before any
+    of the batch's updates land, every value's counters are raised to
+    ``estimate + count``, and groups never share counters (distinct
+    slots), so point queries still never under-estimate.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 8 or depth < 1:
+            raise ValueError("width must be >= 8 and depth >= 1")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._a, self._b = _hash_params(width, depth, seed)
+        self.tables = np.zeros((0, depth, width), dtype=np.int64)
+        self.totals = np.zeros(0, dtype=np.int64)
+        self._slot_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def group_ids(self) -> list[int]:
+        """Groups with a slot, in first-seen order."""
+        return list(self._slot_of)
+
+    def _slots_for(self, group_ids: np.ndarray) -> np.ndarray:
+        """Slot per group id, allocating (and growing storage) as needed."""
+        slots = np.empty(len(group_ids), dtype=np.int64)
+        for i, gid in enumerate(group_ids):
+            gid = int(gid)
+            slot = self._slot_of.get(gid)
+            if slot is None:
+                slot = len(self._slot_of)
+                self._slot_of[gid] = slot
+            slots[i] = slot
+        n = len(self._slot_of)
+        if n > len(self.tables):
+            capacity = max(8, 2 * len(self.tables))
+            while capacity < n:
+                capacity *= 2
+            grown = np.zeros((capacity, self.depth, self.width), dtype=np.int64)
+            grown[: len(self.tables)] = self.tables
+            self.tables = grown
+            self.totals = np.concatenate(
+                [self.totals, np.zeros(capacity - len(self.totals), dtype=np.int64)]
+            )
+        return slots
+
+    def update(
+        self, group_ids: np.ndarray, starts: np.ndarray,
+        values: np.ndarray, counts: np.ndarray,
+    ) -> None:
+        """Conservative-update all groups of one chunk in one pass.
+
+        Args take the :class:`repro.kernels.GroupedRuns` layout (CSR
+        runs with duplicates already aggregated per (group, value) and
+        counts positive); pass ``runs.group_ids, runs.starts,
+        runs.values, runs.counts`` directly.
+        """
+        if len(values) == 0:
+            return
+        lengths = np.diff(starts)
+        slots = self._slots_for(group_ids)
+        slot_per_run = np.repeat(slots, lengths)
+        v = np.asarray(values, dtype=np.int64) % _PRIME
+        cols = (self._a[:, None] * v[None, :] + self._b[:, None]) % _PRIME % self.width
+        rows = np.arange(self.depth, dtype=np.int64)
+        flat = (
+            (slot_per_run[None, :] * self.depth + rows[:, None]) * self.width + cols
+        )
+        flat_tables = self.tables.reshape(-1)
+        estimates = flat_tables[flat].min(axis=0)
+        targets = estimates + counts
+        np.maximum.at(
+            flat_tables,
+            flat.reshape(-1),
+            np.broadcast_to(targets, (self.depth, len(targets))).reshape(-1),
+        )
+        self.totals[: len(self._slot_of)] += np.bincount(
+            slot_per_run, weights=counts, minlength=len(self._slot_of)
+        ).astype(np.int64)[: len(self._slot_of)]
+
+    def total(self, group_id: int) -> int:
+        """Total weight added for one group (0 when never seen)."""
+        slot = self._slot_of.get(int(group_id))
+        return 0 if slot is None else int(self.totals[slot])
+
+    def query_runs(
+        self, group_ids: np.ndarray, starts: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched point estimates across groups (CSR runs layout).
+
+        ``values[starts[i]:starts[i+1]]`` are probed against group
+        ``group_ids[i]``'s sketch; returns ``(estimates, totals)`` —
+        per-value estimates plus each group's total, groups never seen
+        contributing zeros.  One gather replaces a
+        :meth:`CountMinSketch.query_many` call per group.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        lengths = np.diff(np.asarray(starts, dtype=np.int64))
+        if len(self._slot_of) == 0:
+            return (
+                np.zeros(len(values), dtype=np.int64),
+                np.zeros(len(group_ids), dtype=np.int64),
+            )
+        slots = np.asarray(
+            [self._slot_of.get(int(g), -1) for g in group_ids], dtype=np.int64
+        )
+        totals = np.where(slots >= 0, self.totals[np.maximum(slots, 0)], 0)
+        if len(values) == 0:
+            return np.zeros(0, dtype=np.int64), totals
+        slot_per_value = np.repeat(slots, lengths)
+        v = values % _PRIME
+        cols = (self._a[:, None] * v[None, :] + self._b[:, None]) % _PRIME % self.width
+        rows = np.arange(self.depth, dtype=np.int64)
+        flat = (
+            (np.maximum(slot_per_value, 0)[None, :] * self.depth + rows[:, None])
+            * self.width + cols
+        )
+        estimates = self.tables.reshape(-1)[flat].min(axis=0)
+        estimates[slot_per_value < 0] = 0
+        return estimates, totals
+
+    def sketch(self, group_id: int, copy: bool = True) -> CountMinSketch:
+        """Materialise one group's state as a :class:`CountMinSketch`.
+
+        With ``copy=False`` the sketch's table is a view into the bank
+        (cheap; safe once the bank will no longer be updated).
+        """
+        slot = self._slot_of.get(int(group_id))
+        sketch = CountMinSketch(width=self.width, depth=self.depth, seed=self.seed)
+        if slot is not None:
+            table = self.tables[slot]
+            sketch.table = table.copy() if copy else table
+            sketch.total = int(self.totals[slot])
+        return sketch
+
+
 def sketch_histogram(
     values: np.ndarray,
     counts: np.ndarray,
@@ -267,6 +440,54 @@ def entropy_from_sketch(
         p_tail = tail_mass / total / tail_values
         entropy -= tail_values * p_tail * np.log2(p_tail)
     return float(max(entropy, 0.0))
+
+
+def entropy_from_sketch_runs(
+    estimates: np.ndarray,
+    totals: np.ndarray,
+    starts: np.ndarray,
+    heavy_fraction: float = 0.001,
+) -> np.ndarray:
+    """Vectorised :func:`entropy_from_sketch` over many groups at once.
+
+    ``estimates[starts[i]:starts[i+1]]`` are group ``i``'s candidate
+    estimates (as returned by :meth:`SketchBank.query_runs`) and
+    ``totals[i]`` its sketch total.  Applies the same heavy-hitter +
+    uniform-tail estimator per group in one pass; groups with zero
+    total get entropy 0.
+    """
+    from repro.kernels import segment_sums
+
+    estimates = np.asarray(estimates, dtype=np.float64)
+    totals = np.asarray(totals, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.diff(starts)
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    threshold = np.maximum(heavy_fraction * totals, 1.0)
+    per_element_total = np.repeat(safe_totals, lengths)
+    heavy = estimates >= np.repeat(threshold, lengths)
+    heavy_sum = segment_sums(np.where(heavy, estimates, 0.0), starts)
+    heavy_count = segment_sums(heavy.astype(np.float64), starts)
+    heavy_mass = np.minimum(heavy_sum, totals)
+    tail_mass = totals - heavy_mass
+    tail_values = np.maximum(lengths - heavy_count, 1.0)
+
+    p = estimates / per_element_total
+    contributing = heavy & (estimates > 0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(
+            contributing, p * np.log2(np.where(p > 0, p, 1.0)), 0.0
+        )
+        entropy = -segment_sums(terms, starts)
+        p_tail = np.where(
+            tail_mass > 0, tail_mass / safe_totals / tail_values, 1.0
+        )
+        entropy -= np.where(
+            tail_mass > 0, tail_values * p_tail * np.log2(p_tail), 0.0
+        )
+    entropy = np.maximum(entropy, 0.0)
+    entropy[totals <= 0] = 0.0
+    return entropy
 
 
 def exact_vs_sketch_error(

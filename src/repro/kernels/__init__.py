@@ -1,0 +1,24 @@
+"""Grouped-reduction kernels shared by the flows, stream, and cluster layers.
+
+See :mod:`repro.kernels.grouped` for the core: composite-key sorting,
+``np.add.reduceat`` run reduction, and one-pass grouped entropy over
+the canonical sorted-run representation (:class:`GroupedRuns`).
+"""
+
+from repro.kernels.grouped import (
+    GroupedRuns,
+    group_reduce,
+    group_sums,
+    grouped_entropy,
+    merge_histograms,
+    segment_sums,
+)
+
+__all__ = [
+    "GroupedRuns",
+    "group_reduce",
+    "group_sums",
+    "grouped_entropy",
+    "merge_histograms",
+    "segment_sums",
+]

@@ -1,0 +1,270 @@
+"""Vectorized grouped-reduction kernel: the measurement pipeline's core.
+
+Every entropy time series in the paper (Section 4) is built from
+(group, feature value) -> packet count histograms, where a *group* is
+an OD flow, a (bin, OD flow) pair, or a shard partition.  Doing that
+grouping with per-group Python loops (mask + copy per OD, ``Counter``
+per histogram) dominates the hot path at realistic record rates, so
+this module reduces whole record batches with array primitives instead:
+
+1. compose ``(group, value)`` into a single sortable int64 key —
+   bit-packed when the ranges allow (one ``argsort``), ``np.lexsort``
+   otherwise;
+2. one sort brings equal keys together, run boundaries fall out of a
+   single comparison, and ``np.add.reduceat`` sums the weights per run;
+3. per-group Shannon entropies come from the sorted count runs in one
+   vectorized pass (no per-group calls into :func:`sample_entropy`).
+
+The result — :class:`GroupedRuns`, a CSR-style bundle of sorted
+``(group, value, count)`` runs — is the canonical representation the
+flows, stream, and cluster layers all exchange: within each group the
+values are ascending and counts positive, which is exactly the
+canonical histogram form the mergeable shard summaries serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GroupedRuns",
+    "group_reduce",
+    "grouped_entropy",
+    "group_sums",
+    "merge_histograms",
+    "segment_sums",
+]
+
+#: Bit-packing layout: key = group << 32 | value.  Usable whenever the
+#: values fit 32 bits (IPv4 addresses, ports) and groups fit 31 bits
+#: ((bin, OD) composites included) — i.e. every workload this repo
+#: generates; :func:`group_reduce` falls back to lexsort otherwise.
+_VALUE_BITS = 32
+
+
+def _sort_order(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Stable order sorting by (group, value)."""
+    if (
+        groups.size
+        and groups[0] >= 0  # cheap guard before the full min scan
+        and values.min() >= 0
+        and values.max() < (1 << _VALUE_BITS)
+        and groups.min() >= 0
+        and groups.max() < (1 << (63 - _VALUE_BITS))
+    ):
+        packed = (groups << _VALUE_BITS) | values
+        return np.argsort(packed, kind="stable")
+    return np.lexsort((values, groups))
+
+
+@dataclass(frozen=True)
+class GroupedRuns:
+    """Sorted (group, value, count) runs in CSR layout.
+
+    Attributes:
+        group_ids: ``(G,)`` distinct group ids, ascending; only groups
+            with at least one positive-weight observation appear.
+        starts: ``(G + 1,)`` offsets: group ``i`` owns
+            ``values[starts[i]:starts[i+1]]`` (and the same count
+            slice).
+        values: ``(M,)`` feature values, ascending within each group.
+        counts: ``(M,)`` summed weights per (group, value), all > 0.
+    """
+
+    group_ids: np.ndarray
+    starts: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        """Number of non-empty groups G."""
+        return len(self.group_ids)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, counts)`` of the i-th group (views, not copies)."""
+        lo, hi = self.starts[i], self.starts[i + 1]
+        return self.values[lo:hi], self.counts[lo:hi]
+
+    def group(self, group_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, counts)`` of a group by id (empty when absent)."""
+        i = int(np.searchsorted(self.group_ids, group_id))
+        if i == self.n_groups or self.group_ids[i] != group_id:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return self.slice(i)
+
+    def lengths(self) -> np.ndarray:
+        """``(G,)`` number of distinct values per group."""
+        return np.diff(self.starts)
+
+    def totals(self) -> np.ndarray:
+        """``(G,)`` total weight per group (int64, exact)."""
+        if len(self.values) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.add.reduceat(self.counts, self.starts[:-1])
+
+    def entropies(self) -> np.ndarray:
+        """``(G,)`` per-group sample entropies in one vectorized pass."""
+        return grouped_entropy(self.counts, self.starts)
+
+
+def group_reduce(
+    groups: np.ndarray,
+    values: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> GroupedRuns:
+    """Reduce (group, value, weight) triples into :class:`GroupedRuns`.
+
+    Args:
+        groups: ``(n,)`` integer group ids (need not be sorted).
+        values: ``(n,)`` integer feature values, aligned with groups.
+        weights: ``(n,)`` non-negative integer weights; defaults to 1
+            per row (pure occurrence counting).  Zero-weight rows are
+            dropped — they are not part of the empirical histogram,
+            matching :meth:`FeatureHistogram.add`.
+
+    Returns:
+        The canonical sorted-run representation; counts are exact int64
+        sums of the weights per distinct (group, value).
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if groups.shape != values.shape or groups.ndim != 1:
+        raise ValueError("groups and values must be aligned 1-D arrays")
+    if weights is None:
+        weights = np.ones(len(groups), dtype=np.int64)
+    else:
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.shape != groups.shape:
+            raise ValueError("weights must align with groups")
+        if weights.size and weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        keep = weights > 0
+        if not keep.all():
+            groups, values, weights = groups[keep], values[keep], weights[keep]
+    if len(groups) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return GroupedRuns(empty, np.zeros(1, dtype=np.int64), empty, empty)
+
+    order = _sort_order(groups, values)
+    g = groups[order]
+    v = values[order]
+    w = weights[order]
+
+    new_run = np.empty(len(g), dtype=bool)
+    new_run[0] = True
+    np.logical_or(g[1:] != g[:-1], v[1:] != v[:-1], out=new_run[1:])
+    run_starts = np.flatnonzero(new_run)
+    counts = np.add.reduceat(w, run_starts)
+    run_groups = g[run_starts]
+    run_values = v[run_starts]
+
+    new_group = np.empty(len(run_groups), dtype=bool)
+    new_group[0] = True
+    np.not_equal(run_groups[1:], run_groups[:-1], out=new_group[1:])
+    group_starts = np.flatnonzero(new_group)
+    starts = np.append(group_starts, len(run_values)).astype(np.int64)
+    return GroupedRuns(run_groups[group_starts], starts, run_values, counts)
+
+
+def grouped_entropy(counts: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment sample entropy (bits) over a CSR count layout.
+
+    ``counts[starts[i]:starts[i+1]]`` is segment ``i``'s histogram; the
+    return value has one entropy per segment.  Empty segments and
+    zero-count entries yield/contribute 0, matching
+    :func:`repro.core.entropy.sample_entropy` conventions — and the
+    per-element arithmetic (p = n/S, p*log2 p) is identical to the
+    scalar routine's, so results agree to within summation-order
+    rounding (~1 ulp).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    n_segments = len(starts) - 1
+    out = np.zeros(n_segments)
+    if n_segments == 0 or len(counts) == 0:
+        return out
+    lengths = np.diff(starts)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    # reduceat over the non-empty segment starts only: consecutive
+    # selected starts delimit exactly one segment each (empty segments
+    # occupy zero width between them).
+    seg_starts = starts[:-1][nonempty]
+    totals = np.add.reduceat(counts, seg_starts)
+    per_element_total = np.repeat(totals, lengths[nonempty])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(per_element_total > 0, counts / per_element_total, 0.0)
+        terms = p * np.log2(p, out=np.zeros_like(p), where=p > 0)
+    entropies = -np.add.reduceat(terms, seg_starts)
+    # Segments whose total is 0 (all-zero counts) have entropy 0.
+    entropies[totals == 0] = 0.0
+    out[nonempty] = entropies
+    return out
+
+
+def segment_sums(x: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment float sums over a CSR layout.
+
+    ``x[starts[i]:starts[i+1]]`` is segment ``i``; empty segments sum
+    to 0 (plain ``np.add.reduceat`` mis-handles them).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    n_segments = len(starts) - 1
+    out = np.zeros(n_segments)
+    if n_segments == 0 or len(x) == 0:
+        return out
+    lengths = np.diff(starts)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    out[nonempty] = np.add.reduceat(x, starts[:-1][nonempty])
+    return out
+
+
+def group_sums(groups: np.ndarray, weights: np.ndarray, n_groups: int) -> np.ndarray:
+    """Dense ``(n_groups,)`` int64 sum of weights per group id.
+
+    ``np.bincount`` accumulates in float64, which is exact for totals
+    below 2**53 — far above any per-bin packet/byte count this pipeline
+    produces — so the cast back to int64 is lossless.
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    weights = np.asarray(weights)
+    sums = np.bincount(groups, weights=weights, minlength=n_groups)
+    return sums.astype(np.int64)
+
+
+def merge_histograms(
+    values_a: np.ndarray,
+    counts_a: np.ndarray,
+    values_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two canonical histograms into one (values sorted, counts
+    summed) — same result as
+    :func:`repro.flows.sketches.canonical_histogram` over the
+    concatenation, via one sort + reduceat instead of unique + add.at.
+    """
+    values = np.concatenate([np.asarray(values_a, dtype=np.int64),
+                             np.asarray(values_b, dtype=np.int64)])
+    counts = np.concatenate([np.asarray(counts_a, dtype=np.int64),
+                             np.asarray(counts_b, dtype=np.int64)])
+    if len(values) == 0:
+        return values, counts
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = counts[order]
+    new_run = np.empty(len(v), dtype=bool)
+    new_run[0] = True
+    np.not_equal(v[1:], v[:-1], out=new_run[1:])
+    run_starts = np.flatnonzero(new_run)
+    return v[run_starts], np.add.reduceat(w, run_starts)

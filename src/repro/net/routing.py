@@ -38,6 +38,7 @@ class PrefixTable(Generic[V]):
     def __init__(self) -> None:
         self._tables: dict[int, dict[int, V]] = {}
         self._lengths: list[int] = []  # sorted descending
+        self._arrays: dict[int, tuple[np.ndarray, list[V]]] | None = None
 
     def __len__(self) -> int:
         return sum(len(t) for t in self._tables.values())
@@ -49,6 +50,7 @@ class PrefixTable(Generic[V]):
             table = self._tables[prefix.length] = {}
             self._lengths = sorted(self._tables, reverse=True)
         table[prefix.network] = value
+        self._arrays = None
 
     def remove(self, prefix: Prefix) -> None:
         """Remove the route for ``prefix`` (KeyError if absent)."""
@@ -57,6 +59,7 @@ class PrefixTable(Generic[V]):
         if not table:
             del self._tables[prefix.length]
             self._lengths = sorted(self._tables, reverse=True)
+        self._arrays = None
 
     def lookup(self, ip: int) -> V | None:
         """Longest-prefix match; None when no route covers ``ip``."""
@@ -67,13 +70,68 @@ class PrefixTable(Generic[V]):
                 return table[key]
         return None
 
-    def lookup_array(self, ips: np.ndarray, default: V) -> list[V]:
-        """Vectorised-ish lookup for an array of addresses."""
-        return [self._fallback(self.lookup(int(ip)), default) for ip in ips]
+    def _length_arrays(self) -> dict[int, tuple[np.ndarray, list[V]]]:
+        """Per-length (sorted networks, values) lookup tables, cached.
 
-    @staticmethod
-    def _fallback(value: V | None, default: V) -> V:
-        return default if value is None else value
+        Rebuilt lazily after any :meth:`add`/:meth:`remove`; backs the
+        vectorised lookups below.
+        """
+        if self._arrays is None:
+            self._arrays = {}
+            for length, table in self._tables.items():
+                networks = np.fromiter(table, dtype=np.int64, count=len(table))
+                order = np.argsort(networks)
+                networks = networks[order]
+                values = [table[int(n)] for n in networks]
+                self._arrays[length] = (networks, values)
+        return self._arrays
+
+    def lookup_indices(self, ips: np.ndarray) -> tuple[np.ndarray, list[V]]:
+        """Vectorised longest-prefix match over an address array.
+
+        Returns ``(indices, values)``: ``values[indices[i]]`` is the
+        matched route for ``ips[i]``, with index -1 for unrouted
+        addresses.  Each populated prefix length costs one masked
+        ``searchsorted`` over that length's sorted networks — no
+        per-address Python dispatch.
+        """
+        arr = np.asarray(ips, dtype=np.int64)
+        indices = np.full(len(arr), -1, dtype=np.int64)
+        arrays = self._length_arrays()
+        flat_values: list[V] = []
+        offset = 0
+        unresolved = np.ones(len(arr), dtype=bool)
+        for length in self._lengths:
+            if not unresolved.any():
+                break
+            networks, values = arrays[length]
+            shift = IPV4_BITS - length
+            candidates = np.flatnonzero(unresolved)
+            masked = mask_low_bits(arr[candidates], shift)
+            pos = np.searchsorted(networks, masked)
+            pos[pos == len(networks)] = 0  # any in-range slot; hit check below
+            hit = networks[pos] == masked
+            matched = candidates[hit]
+            indices[matched] = offset + pos[hit]
+            unresolved[matched] = False
+            flat_values.extend(values)
+            offset += len(values)
+        return indices, flat_values
+
+    def lookup_int_many(self, ips: np.ndarray, default: int) -> np.ndarray:
+        """Vectorised lookup when the table's values are integers.
+
+        Returns an int64 array with ``default`` for unrouted addresses
+        — the hot path behind :meth:`Router.egress_pops`.
+        """
+        indices, values = self.lookup_indices(ips)
+        table = np.asarray([default] + [int(v) for v in values], dtype=np.int64)
+        return table[indices + 1]
+
+    def lookup_array(self, ips: np.ndarray, default: V) -> list[V]:
+        """Vectorised lookup for an array of addresses (list of values)."""
+        indices, values = self.lookup_indices(ips)
+        return [values[i] if i >= 0 else default for i in indices]
 
     def items(self) -> Iterable[tuple[Prefix, V]]:
         """Iterate all (prefix, value) routes."""
@@ -106,14 +164,11 @@ class Router:
     def egress_pops(self, dst_ips: np.ndarray) -> np.ndarray:
         """Vectorised egress resolution.
 
-        Exploits the regular /16-per-PoP allocation with a fast path:
-        addresses are first matched against each PoP prefix in bulk.
+        One masked ``searchsorted`` per populated prefix length (for the
+        per-PoP /16 allocation: exactly one) instead of per-address
+        Python dispatch or a mask pass per PoP.
         """
-        result = np.full(len(dst_ips), self.default_egress, dtype=np.int64)
-        arr = np.asarray(dst_ips, dtype=np.int64)
-        for pop in self.topology.pops:
-            result[pop.prefix.contains_array(arr)] = pop.index
-        return result
+        return self.table.lookup_int_many(dst_ips, self.default_egress)
 
     def resolve_od(self, ingress_pop: int, dst_ip: int) -> int:
         """OD-flow index for a record sampled at ``ingress_pop``."""
@@ -122,6 +177,20 @@ class Router:
     def resolve_ods(self, ingress_pop: int, dst_ips: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`resolve_od`."""
         return ingress_pop * self.topology.n_pops + self.egress_pops(dst_ips)
+
+    def resolve_ods_mixed(
+        self, ingress_pops: np.ndarray, dst_ips: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised OD attribution over mixed ingress PoPs.
+
+        ``od = ingress * n_pops + egress`` — the same rule as
+        :meth:`resolve_od`, applied to whole record batches; shared by
+        the batch aggregator and the streaming feature stage.
+        """
+        return (
+            np.asarray(ingress_pops, dtype=np.int64) * self.topology.n_pops
+            + self.egress_pops(dst_ips)
+        )
 
     def path(self, od: int) -> list[str]:
         """Backbone path (PoP codes) taken by an OD flow."""

@@ -7,14 +7,19 @@ state is the bottleneck, so this stage swaps the histograms for
 :class:`repro.flows.sketches.CountMinSketch` summaries — entropy
 estimated from compact summaries in place of exact counts, following
 the sketch line of the paper's related work (Krishnamurthy et
-al. [22]).  Per bin it keeps, for every active OD flow, four sketches
-plus a capped candidate-value set, and on bin close emits the
-``(p, 4)`` entropy matrix and volume rows the detection engine consumes.
+al. [22]).  Per bin it keeps one grouped store per feature — a
+:class:`repro.flows.sketches.SketchBank` holding every active OD's
+sketch in one array (plus capped candidate-value sets), updated for a
+whole chunk in one batched pass via the grouped-reduction kernel
+(:mod:`repro.kernels`) — and on bin close emits the ``(p, 4)`` entropy
+matrix and volume rows the detection engine consumes.
 
 Memory is bounded by ``active ODs x 4 x (width x depth + candidate
-cap)`` regardless of trace length; ``exact=True`` switches back to
-exact histograms (same interface) for small deployments and for the
-streaming-vs-batch equivalence tests.
+cap)`` regardless of trace length; ``exact=True`` switches to exact
+histograms (same interface): chunk columns are stashed per feature and
+reduced once at bin close — one sort + ``reduceat`` + grouped-entropy
+pass for all ODs, used by small deployments and the streaming-vs-batch
+equivalence tests.
 """
 
 from __future__ import annotations
@@ -23,16 +28,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.entropy import sample_entropy
 from repro.flows.binning import BIN_SECONDS
 from repro.flows.features import N_FEATURES, FEATURES
 from repro.flows.records import FlowRecordBatch
-from repro.flows.sketches import (
-    CountMinSketch,
-    aggregate_histogram,
-    canonical_histogram,
-    entropy_from_sketch,
-)
+from repro.flows.sketches import SketchBank, entropy_from_sketch_runs
+from repro.kernels import GroupedRuns, group_reduce, group_sums
 from repro.net.routing import Router
 from repro.net.topology import Topology
 
@@ -64,61 +64,17 @@ class BinSummary:
     n_records: int = 0
 
 
-class _FeatureSummary:
-    """One (OD, feature) summary: a sketch + candidate set, or exact."""
-
-    __slots__ = ("sketch", "candidates", "parts")
-
-    def __init__(self, width: int, depth: int, seed: int, exact: bool) -> None:
-        if exact:
-            # Exact mode defers aggregation: chunks append (values,
-            # counts) pairs and finalize groups them by value.
-            self.parts: list[tuple[np.ndarray, np.ndarray]] | None = []
-            self.sketch = None
-            self.candidates: set[int] | None = None
-        else:
-            self.parts = None
-            self.candidates = set()
-            self.sketch = CountMinSketch(width=width, depth=depth, seed=seed)
-
-    def add(self, values: np.ndarray, counts: np.ndarray) -> None:
-        values = np.asarray(values, dtype=np.int64)
-        counts = np.asarray(counts, dtype=np.int64)
-        if self.parts is not None:
-            self.parts.append((values, counts))
-            return
-        self.sketch.add_histogram(values, counts)
-        if len(self.candidates) < MAX_CANDIDATES:
-            self.candidates.update(values.tolist())
-
-    def entropy(self) -> float:
-        if self.parts is not None:
-            if not self.parts:
-                return 0.0
-            values = np.concatenate([v for v, _ in self.parts])
-            counts = np.concatenate([c for _, c in self.parts])
-            _, grouped = aggregate_histogram(values, counts)
-            return sample_entropy(grouped)
-        return entropy_from_sketch(
-            self.sketch, np.fromiter(self.candidates, dtype=np.int64, count=len(self.candidates))
-        )
-
-    def canonical(self) -> tuple[np.ndarray, np.ndarray]:
-        """Exact mode only: the accumulated histogram in canonical form
-        (values sorted, counts grouped) — the representation the
-        mergeable shard summaries serialize."""
-        if self.parts is None:
-            raise ValueError("canonical() requires exact mode")
-        if not self.parts:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty
-        values = np.concatenate([v for v, _ in self.parts])
-        counts = np.concatenate([c for _, c in self.parts])
-        return canonical_histogram(values, counts)
-
-
 class BinAccumulator:
-    """Aggregates one bin's records into per-OD feature summaries."""
+    """Aggregates one bin's records into per-OD feature summaries.
+
+    One *per-bin grouped store* replaces the per-OD objects the first
+    implementation kept: exact mode stashes each chunk's (ods, values,
+    weights) columns and reduces them with the grouped-reduction kernel
+    on bin close (one sort + ``reduceat`` + grouped entropy per
+    feature); sketch mode drives a :class:`SketchBank` per feature —
+    every chunk's runs update all active ODs' sketches in one batched
+    conservative-update pass.  No code path loops over ODs per chunk.
+    """
 
     def __init__(
         self,
@@ -133,34 +89,55 @@ class BinAccumulator:
         self.depth = depth
         self.seed = seed
         self.exact = exact
-        self._features: dict[int, list[_FeatureSummary]] = {}
+        if exact:
+            #: per feature: list of (ods, values, weights) column triples
+            self._parts: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+                [] for _ in range(N_FEATURES)
+            ]
+            self._banks = None
+            self._candidates = None
+        else:
+            self._parts = None
+            self._banks = [
+                SketchBank(width=width, depth=depth, seed=seed)
+                for _ in range(N_FEATURES)
+            ]
+            #: od -> per-feature candidate-value sets (capped)
+            self._candidates: dict[int, list[set[int]]] = {}
         self._packets = np.zeros(n_od_flows, dtype=np.int64)
         self._bytes = np.zeros(n_od_flows, dtype=np.int64)
         self.n_records = 0
+        #: True once any record batch or histogram landed here (empty
+        #: histograms included) — bins touched this way still close.
+        self.touched = False
 
-    def _od_features(self, od: int) -> list[_FeatureSummary]:
-        entry = self._features.get(od)
-        if entry is None:
-            entry = [
-                _FeatureSummary(self.width, self.depth, self.seed, self.exact)
-                for _ in range(N_FEATURES)
-            ]
-            self._features[od] = entry
-        return entry
+    def _add_feature(self, k: int, ods: np.ndarray, values: np.ndarray,
+                     weights: np.ndarray) -> None:
+        if self.exact:
+            self._parts[k].append((ods, values, weights))
+            return
+        runs = group_reduce(ods, values, weights)
+        self._banks[k].update(runs.group_ids, runs.starts, runs.values, runs.counts)
+        for i, od in enumerate(runs.group_ids):
+            entry = self._candidates.setdefault(
+                int(od), [set() for _ in range(N_FEATURES)]
+            )
+            candidates = entry[k]
+            if len(candidates) < MAX_CANDIDATES:
+                candidates.update(runs.values[runs.starts[i]:runs.starts[i + 1]].tolist())
 
     def add_batch(self, ods: np.ndarray, batch: FlowRecordBatch) -> None:
         """Add a record batch whose rows are already attributed to ODs."""
         ods = np.asarray(ods, dtype=np.int64)
         if len(ods) != len(batch):
             raise ValueError("ods must align with the batch")
-        for od in np.unique(ods):
-            mask = ods == od
-            sub = batch.select(mask)
-            entry = self._od_features(int(od))
-            for k, name in enumerate(FEATURES):
-                entry[k].add(getattr(sub, name), sub.packets)
-            self._packets[od] += sub.total_packets
-            self._bytes[od] += sub.total_bytes
+        if len(batch) == 0:
+            return
+        self.touched = True
+        for k, name in enumerate(FEATURES):
+            self._add_feature(k, ods, getattr(batch, name), batch.packets)
+        self._packets += group_sums(ods, batch.packets, self.n_od_flows)
+        self._bytes += group_sums(ods, batch.bytes, self.n_od_flows)
         self.n_records += len(batch)
 
     def add_histograms(
@@ -174,21 +151,70 @@ class BinAccumulator:
         """
         if len(histograms) != N_FEATURES:
             raise ValueError(f"expected {N_FEATURES} histograms")
-        entry = self._od_features(int(od))
+        self.touched = True
+        if not self.exact:
+            # Register the OD even when every histogram is empty, so
+            # the closed bin still carries an (all-zero) row for it.
+            self._candidates.setdefault(int(od), [set() for _ in range(N_FEATURES)])
         for k, (values, counts) in enumerate(histograms):
-            entry[k].add(
-                np.asarray(values, dtype=np.int64),
-                np.asarray(counts, dtype=np.int64),
-            )
+            values = np.asarray(values, dtype=np.int64)
+            counts = np.asarray(counts, dtype=np.int64)
+            ods = np.full(len(values), int(od), dtype=np.int64)
+            self._add_feature(k, ods, values, counts)
         self._packets[od] += int(packets)
         self._bytes[od] += int(byte_count)
+
+    def feature_runs(self, k: int) -> GroupedRuns:
+        """Exact mode: feature ``k``'s accumulated (od, value, count)
+        runs in canonical sorted form — per OD, values ascending and
+        counts grouped, exactly what the mergeable shard summaries
+        serialize."""
+        if not self.exact:
+            raise ValueError("feature_runs() requires exact mode")
+        parts = self._parts[k]
+        if not parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return GroupedRuns(empty, np.zeros(1, dtype=np.int64), empty, empty)
+        if len(parts) == 1:
+            ods, values, weights = parts[0]
+        else:
+            ods = np.concatenate([p[0] for p in parts])
+            values = np.concatenate([p[1] for p in parts])
+            weights = np.concatenate([p[2] for p in parts])
+        return group_reduce(ods, values, weights)
+
+    def sketch_state(self):
+        """Sketch mode: ``(banks, candidates)`` — the four per-feature
+        :class:`SketchBank` objects and the ``od -> [set] * 4``
+        candidate-value map.  The hand-off the mergeable shard
+        summaries (:mod:`repro.cluster.summary`) build from."""
+        if self.exact:
+            raise ValueError("sketch_state() requires sketch mode")
+        return self._banks, self._candidates
 
     def finalize(self, bin_index: int) -> BinSummary:
         """Emit the bin's entropy matrix and volume rows."""
         entropy = np.zeros((self.n_od_flows, N_FEATURES))
-        for od, entry in self._features.items():
+        if self.exact:
             for k in range(N_FEATURES):
-                entropy[od, k] = entry[k].entropy()
+                runs = self.feature_runs(k)
+                entropy[runs.group_ids, k] = runs.entropies()
+        else:
+            # One batched bank query + one vectorized estimator pass per
+            # feature covers every active OD's candidate set at once.
+            ods = np.asarray(sorted(self._candidates), dtype=np.int64)
+            for k in range(N_FEATURES):
+                candidates = [sorted(self._candidates[int(od)][k]) for od in ods]
+                lengths = np.array([len(c) for c in candidates], dtype=np.int64)
+                starts = np.zeros(len(ods) + 1, dtype=np.int64)
+                np.cumsum(lengths, out=starts[1:])
+                values = (
+                    np.concatenate([np.asarray(c, dtype=np.int64) for c in candidates])
+                    if len(candidates)
+                    else np.zeros(0, dtype=np.int64)
+                )
+                estimates, totals = self._banks[k].query_runs(ods, starts, values)
+                entropy[ods, k] = entropy_from_sketch_runs(estimates, totals, starts)
         return BinSummary(
             bin=bin_index,
             entropy=entropy,
@@ -197,16 +223,9 @@ class BinAccumulator:
             n_records=self.n_records,
         )
 
-    def export_state(self):
-        """Raw accumulated state: ``(features, packets, bytes)``.
-
-        ``features`` maps ``od -> [_FeatureSummary] * 4``; the volume
-        arrays are the live int64 counters (callers must copy).  This is
-        the hand-off the mergeable shard summaries
-        (:mod:`repro.cluster.summary`) build from, so a shard can ship
-        its pre-entropy state instead of a finished matrix.
-        """
-        return self._features, self._packets, self._bytes
+    def export_volumes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the per-OD int64 packet/byte counters."""
+        return self._packets.copy(), self._bytes.copy()
 
 
 @dataclass
@@ -268,31 +287,29 @@ class StreamFeatureStage:
         if len(batch) == 0:
             return closed
         idx = np.floor((batch.timestamp - self.start) / self.bin_width).astype(np.int64)
-        order = np.argsort(idx, kind="stable")
-        idx = idx[order]
-        batch = batch.select(order)
-        for b in np.unique(idx):
+        if idx.size > 1 and np.any(idx[1:] < idx[:-1]):
+            order = np.argsort(idx, kind="stable")
+            idx = idx[order]
+            batch = batch.select(order)
+        distinct = np.unique(idx)
+        single_bin = len(distinct) == 1
+        for b in distinct:
             b = int(b)
-            mask = idx == b
+            mask = None if single_bin else idx == b
             if self._current_bin is not None and b < self._current_bin:
-                self.late_records += int(mask.sum())
+                self.late_records += len(batch) if single_bin else int(mask.sum())
                 continue
             if self._current_bin is None:
                 self._current_bin = b
                 self._current = self._new_accumulator()
             while b > self._current_bin:
                 closed.append(self._close())
-            sub = batch.select(mask)
+            sub = batch if single_bin else batch.select(mask)
             if self.apply_anonymization and self.topology.anonymization_bits:
                 anon = sub.anonymized(self.topology.anonymization_bits)
             else:
                 anon = sub
-            # Vectorised OD attribution over mixed ingress PoPs:
-            # od = ingress * n_pops + egress (same rule as resolve_od).
-            ods = (
-                sub.ingress_pop * self.topology.n_pops
-                + self.router.egress_pops(sub.dst_ip)
-            )
+            ods = self.router.resolve_ods_mixed(sub.ingress_pop, sub.dst_ip)
             self._current.add_batch(ods, anon)
         return closed
 
@@ -342,7 +359,7 @@ class StreamFeatureStage:
         """Close the open bin (end of stream)."""
         if self._current_bin is None or self._current is None:
             return []
-        if self._current.n_records == 0 and not self._current._features:
+        if not self._current.touched:
             return []
         summary = self._finalize(self._current, self._current_bin)
         self._current = None

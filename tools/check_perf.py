@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Throughput regression gate for the streaming benchmark.
+
+Compares a freshly generated ``benchmarks/results/streaming.json``
+against the committed baseline (``git show HEAD:...`` by default) and
+fails — exit code 1 — when exact-mode ingest regresses by more than
+the allowed fraction (default 20%).  Run it after ``bench_streaming``:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py
+    python tools/check_perf.py
+
+Slow or heavily-shared runners can skip the gate by exporting
+``REPRO_SKIP_PERF_GATE=1`` (the check prints what it *would* have
+compared and exits 0).  Baselines in the old single-run scalar format
+and the current median/min/max spread format are both accepted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_DEFAULT = REPO_ROOT / "benchmarks" / "results" / "streaming.json"
+BASELINE_GIT_PATH = "benchmarks/results/streaming.json"
+SKIP_ENV = "REPRO_SKIP_PERF_GATE"
+
+
+def _rate(entry) -> float:
+    """A records/sec number from either JSON layout.
+
+    Spread entries (``{"median": ..., "min": ..., "max": ...}``) yield
+    the median; pre-spread baselines stored a bare float.
+    """
+    if isinstance(entry, dict):
+        return float(entry["median"])
+    return float(entry)
+
+
+def _load_baseline(spec: str) -> dict:
+    if spec == "git:HEAD":
+        payload = subprocess.run(
+            ["git", "show", f"HEAD:{BASELINE_GIT_PATH}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(payload)
+    return json.loads(Path(spec).read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        default=str(FRESH_DEFAULT),
+        help="freshly generated streaming.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="git:HEAD",
+        help="committed baseline: 'git:HEAD' (default) or a file path",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop in exact-mode records/sec (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if os.environ.get(SKIP_ENV):
+        print(f"perf gate skipped ({SKIP_ENV} set)")
+        return 0
+
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+    except OSError as exc:
+        print(f"perf gate: cannot read fresh results: {exc}", file=sys.stderr)
+        return 1
+    try:
+        baseline = _load_baseline(args.baseline)
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError) as exc:
+        print(f"perf gate: cannot load baseline ({args.baseline}): {exc}",
+              file=sys.stderr)
+        return 1
+
+    fresh_rate = _rate(fresh["records_per_sec"]["streaming_exact"])
+    base_rate = _rate(baseline["records_per_sec"]["streaming_exact"])
+    floor = (1.0 - args.max_regression) * base_rate
+    verdict = "OK" if fresh_rate >= floor else "REGRESSION"
+    print(
+        f"perf gate [{verdict}]: streaming exact {fresh_rate:,.0f} records/s "
+        f"vs baseline {base_rate:,.0f} (floor {floor:,.0f}, "
+        f"-{args.max_regression:.0%} allowed)"
+    )
+    return 0 if fresh_rate >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
