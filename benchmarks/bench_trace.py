@@ -1,0 +1,249 @@
+"""Benchmarks the columnar trace store: write, replay, cluster sharing.
+
+Three questions, one workload (the 648k-record synthetic Abilene trace
+``bench_streaming`` uses):
+
+* **write throughput** — how fast the batched whole-bin generator can
+  materialise records into a trace file;
+* **replay ingest vs inline generation** — records/sec of producing
+  ready-to-ingest chunks from the mmap'd trace (every column touched,
+  so the pages really stream through memory) against synthesising the
+  same records inline.  Replay is reported warm (page cache populated)
+  and cold (pages dropped via ``posix_fadvise(DONTNEED)`` first, where
+  the platform supports it);
+* **cluster sharing** — ``run_cluster`` ingest at 1 and 2 workers when
+  every worker memory-maps one shared trace instead of regenerating
+  its OD slice, on the smaller bench_cluster workload.
+
+Medians of 3 land in ``results/trace.json``; ``tools/check_perf.py``
+gates replay-ingest regressions against the committed baseline.  The
+acceptance floor for this subsystem is replay ingest >= 2x the
+committed streaming-exact reduction rate: record production must no
+longer be the end-to-end bottleneck.
+"""
+
+import os
+from pathlib import Path
+
+from _util import emit, rate_summary, run_once, timed_repeats, write_json_result
+
+from repro.cluster import run_cluster
+from repro.flows.binning import TimeBins
+from repro.flows.records import COLUMN_SPEC
+from repro.io import TraceReader, write_trace
+from repro.net.topology import abilene
+from repro.stream import StreamConfig, synthetic_record_stream, trace_record_stream
+from repro.traffic.generator import TrafficGenerator
+
+N_BINS = 36
+MAX_RECORDS_PER_OD = 150
+SEED = 11
+REPEATS = 3
+CHUNK_RECORDS = 65536
+
+CLUSTER_N_BINS = 20
+CLUSTER_WARMUP = 14
+CLUSTER_MAX_RECORDS = 120
+CLUSTER_SEED = 23
+CLUSTER_WORKERS = (1, 2)
+
+
+def _generator():
+    return TrafficGenerator(abilene(), TimeBins(n_bins=N_BINS), seed=SEED)
+
+
+def _consume(chunks) -> int:
+    """Drain a chunk stream touching every column of every record.
+
+    Summing each column forces the bytes through memory (or off disk,
+    for a cold mmap), so the measured rate is an honest "records ready
+    for the reduction" number, not view-creation bookkeeping.
+    """
+    n = 0
+    checksum = 0
+    for chunk in chunks:
+        n += len(chunk)
+        for name, _ in COLUMN_SPEC:
+            checksum += int(getattr(chunk, name).sum())
+    assert checksum != 0
+    return n
+
+
+def _drop_page_cache(path: Path) -> bool:
+    """Ask the kernel to evict the file's cached pages (best effort)."""
+    if not hasattr(os, "posix_fadvise"):
+        return False
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+        os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+    finally:
+        os.close(fd)
+    return True
+
+
+def test_trace_write_and_replay(benchmark, tmp_path):
+    path = tmp_path / "abilene.trace"
+
+    # Write throughput (the batched whole-bin generation path).
+    def _write():
+        return write_trace(
+            path, _generator(), max_records_per_od=MAX_RECORDS_PER_OD, seed=0
+        )
+
+    info = run_once(benchmark, _write)
+    _, write_times = timed_repeats(_write, REPEATS)
+    n_records = info.n_records
+    assert n_records >= 50_000
+
+    # Inline-generation ingest: the pre-trace record source.
+    def _inline():
+        return _consume(
+            synthetic_record_stream(
+                _generator(), range(N_BINS), max_records_per_od=MAX_RECORDS_PER_OD,
+                seed=0,
+            )
+        )
+
+    inline_n, inline_times = timed_repeats(_inline, REPEATS)
+    assert inline_n == n_records
+
+    # Cold replay: drop the page cache before each pass (best effort).
+    cold_supported = True
+    cold_times = []
+    for _ in range(REPEATS):
+        cold_supported = _drop_page_cache(path) and cold_supported
+        _, t = timed_repeats(
+            lambda: _consume(trace_record_stream(path, chunk_records=CHUNK_RECORDS)),
+            1,
+        )
+        cold_times.extend(t)
+
+    # Warm replay: the page cache now holds the whole file.
+    def _replay():
+        return _consume(trace_record_stream(path, chunk_records=CHUNK_RECORDS))
+
+    replay_n, replay_times = timed_repeats(_replay, REPEATS)
+    assert replay_n == n_records
+
+    write_rate = rate_summary(n_records, write_times)
+    inline_rate = rate_summary(n_records, inline_times)
+    cold_rate = rate_summary(n_records, cold_times)
+    warm_rate = rate_summary(n_records, replay_times)
+    size_mb = path.stat().st_size / 1e6
+
+    def fmt(rate):
+        return (
+            f"{rate['median']:12,.0f} records/s "
+            f"(min {rate['min']:,.0f}, max {rate['max']:,.0f}, "
+            f"median of {rate['n_repeats']})"
+        )
+
+    cold_label = "cold (fadvise DONTNEED)" if cold_supported else "cold (UNSUPPORTED)"
+    emit(
+        "trace",
+        "\n".join(
+            [
+                f"Trace store ({n_records} records, {N_BINS} bins, {size_mb:.1f} MB)",
+                f"  write trace            : {fmt(write_rate)}",
+                f"  inline generation      : {fmt(inline_rate)}",
+                f"  mmap replay, warm      : {fmt(warm_rate)}",
+                f"  mmap replay, {cold_label:<10}: {fmt(cold_rate)}",
+                "  (replay touches all nine columns of every record)",
+            ]
+        ),
+    )
+    write_json_result(
+        "trace",
+        {
+            "n_records": n_records,
+            "n_bins": N_BINS,
+            "max_records_per_od": MAX_RECORDS_PER_OD,
+            "file_bytes": path.stat().st_size,
+            "cold_eviction_supported": cold_supported,
+            "records_per_sec": {
+                "write": write_rate,
+                "inline_generation": inline_rate,
+                "replay_mmap_cold": cold_rate,
+                "replay_mmap_warm": warm_rate,
+            },
+        },
+    )
+    # Replay must beat regenerating the records inline by a wide margin
+    # — that is the entire point of recording a trace.
+    assert warm_rate["median"] >= 2.0 * inline_rate["median"], (
+        f"warm replay {warm_rate['median']:,.0f} records/s is not 2x inline "
+        f"generation {inline_rate['median']:,.0f}"
+    )
+    # And the replayed records must be the inline records, bit for bit.
+    with TraceReader(path) as reader:
+        check_gen = TrafficGenerator(abilene(), TimeBins(n_bins=N_BINS), seed=SEED)
+        first_inline = next(
+            synthetic_record_stream(
+                check_gen, range(N_BINS), max_records_per_od=MAX_RECORDS_PER_OD,
+                seed=0,
+            )
+        )
+        first_replayed = reader.read_bin(0)
+        for name, _ in COLUMN_SPEC:
+            assert (
+                getattr(first_inline, name).tobytes()
+                == getattr(first_replayed, name).tobytes()
+            )
+
+
+def test_cluster_on_shared_trace(tmp_path):
+    """1/2-worker cluster ingest from one shared mmap'd trace file."""
+    path = tmp_path / "cluster.trace"
+    generator = TrafficGenerator(
+        abilene(), TimeBins(n_bins=CLUSTER_N_BINS), seed=CLUSTER_SEED
+    )
+    info = write_trace(
+        path, generator, max_records_per_od=CLUSTER_MAX_RECORDS, seed=CLUSTER_SEED
+    )
+    config = StreamConfig(
+        warmup_bins=CLUSTER_WARMUP,
+        n_components=6,
+        refit_every=0,
+        exact_histograms=True,
+    )
+    results = {
+        workers: run_cluster(
+            network="abilene",
+            n_bins=CLUSTER_N_BINS,
+            seed=CLUSTER_SEED,
+            n_shards=workers,
+            config=config,
+            trace_path=path,
+        )
+        for workers in CLUSTER_WORKERS
+    }
+    detections = {
+        w: [(d.bin, d.detected_by_entropy, d.detected_by_volume)
+            for d in r.report.detections]
+        for w, r in results.items()
+    }
+    lines = [
+        f"Cluster on one shared trace ({info.n_records} records, "
+        f"{CLUSTER_N_BINS} bins, exact histograms)"
+    ]
+    for workers in CLUSTER_WORKERS:
+        result = results[workers]
+        lines.append(
+            f"  {workers} worker(s): {result.records_per_sec:12,.0f} records/s "
+            f"({result.elapsed:.2f}s, {result.report.counts()['total']} detections)"
+        )
+    emit("trace_cluster", "\n".join(lines))
+    payload = {
+        "n_records": info.n_records,
+        "n_bins": CLUSTER_N_BINS,
+        "records_per_sec": {
+            str(w): results[w].records_per_sec for w in CLUSTER_WORKERS
+        },
+    }
+    write_json_result("trace_cluster", payload)
+    # The shared-trace contract: identical detections at any worker count,
+    # with every record accounted for exactly once across shards.
+    for workers in CLUSTER_WORKERS[1:]:
+        assert results[workers].n_records == results[1].n_records == info.n_records
+        assert detections[workers] == detections[1]

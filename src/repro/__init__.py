@@ -53,6 +53,7 @@ from repro.core import (
 )
 from repro.datasets import abilene_dataset, geant_dataset, make_labeled_dataset
 from repro.flows import FEATURES, TimeBins, TrafficCube
+from repro.io import TraceReader, TraceWriter, trace_info, write_trace
 from repro.net import Topology, abilene, geant
 from repro.stream import StreamConfig, StreamingDetectionEngine, StreamingReport
 from repro.traffic import GeneratorConfig, TrafficGenerator

@@ -9,11 +9,17 @@ paper) actually runs:
 * ``inject``   — inject a chosen anomaly into a clean cube and report
   whether volume/entropy detectors catch it;
 * ``stream``   — run the online pipeline (paper Section 8) over a
-  synthetic flow-record trace: chunked ingestion, sketch-backed per-bin
-  entropy, streaming multiway detection; reports throughput;
+  synthetic flow-record trace (inline synthesis or ``--trace`` replay):
+  chunked ingestion, sketch-backed per-bin entropy, streaming multiway
+  detection; reports throughput;
 * ``cluster``  — the sharded deployment: worker processes reduce their
   OD-flow slice into mergeable per-bin summaries, a central
-  coordinator merges them and runs the same streaming diagnosis;
+  coordinator merges them and runs the same streaming diagnosis; with
+  ``--trace`` every worker memory-maps the same recorded trace;
+* ``trace``    — record and replay columnar flow-record traces:
+  ``write`` materialises a synthetic trace into a single binary file,
+  ``info`` prints its header, ``replay`` streams it zero-copy through
+  the detection engine;
 * ``experiment`` — run one of the paper's experiments by name
   (``fig1``..``fig10``, ``table2``..``table8``, ``ablations``,
   ``anonymization``) and print the paper-style report.
@@ -116,6 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = sub.add_parser("stream", help="run the streaming engine on a synthetic trace")
     stream.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    stream.add_argument("--trace", help="replay a recorded trace file instead of "
+                        "generating records inline")
     stream.add_argument("--warmup-bins", type=int, default=48,
                         help="bins accumulated from the stream before fitting")
     stream.add_argument("--live-bins", type=int, default=24,
@@ -138,6 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster", help="run the sharded multi-process engine on a synthetic trace"
     )
     cluster.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    cluster.add_argument("--trace", help="shared trace file all workers memory-map "
+                         "(instead of per-worker record generation)")
     cluster.add_argument("--shards", type=int, default=2,
                          help="worker processes (each owns an OD-flow slice)")
     cluster.add_argument("--warmup-bins", type=int, default=48,
@@ -159,6 +169,43 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--alpha", type=float, default=0.999)
     cluster.add_argument("--components", type=int, default=10)
     cluster.add_argument("--json", help="export the diagnosis-report JSON here")
+
+    trace = sub.add_parser(
+        "trace", help="record and replay columnar flow-record traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tw = trace_sub.add_parser(
+        "write", help="materialise a synthetic trace into a columnar file"
+    )
+    tw.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    tw.add_argument("--bins", type=int, default=72, help="bins to materialise")
+    tw.add_argument("--seed", type=int, default=0)
+    tw.add_argument("--max-records", type=int, default=400,
+                    help="records materialised per (OD flow, bin)")
+    tw.add_argument("--bin-group", type=int, default=64,
+                    help="bins materialised per generation pass (memory bound)")
+    tw.add_argument("--output", required=True, help="output trace path")
+
+    ti = trace_sub.add_parser("info", help="print a trace file's header")
+    ti.add_argument("path")
+
+    tr = trace_sub.add_parser(
+        "replay", help="replay a trace zero-copy through the streaming engine"
+    )
+    tr.add_argument("path")
+    tr.add_argument("--warmup-bins", type=int, default=48,
+                    help="bins accumulated from the stream before fitting")
+    tr.add_argument("--chunk-records", type=int, default=8192,
+                    help="replay chunk size (memory bound)")
+    tr.add_argument("--sketch-width", type=int, default=2048)
+    tr.add_argument("--exact", action="store_true",
+                    help="exact histograms instead of Count-Min sketches")
+    tr.add_argument("--refit-every", type=int, default=12,
+                    help="clean bins between model refits (0 freezes)")
+    tr.add_argument("--alpha", type=float, default=0.999)
+    tr.add_argument("--components", type=int, default=10)
+    tr.add_argument("--json", help="export the diagnosis-report JSON here")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS) + ["ablations"])
@@ -274,18 +321,11 @@ def _print_detection_counts(report) -> None:
     )
 
 
-def _cmd_stream(args) -> int:
-    import time
+def _stream_config(args):
+    """The StreamConfig shared by the stream/cluster/replay commands."""
+    from repro.stream import StreamConfig
 
-    from repro.flows.binning import TimeBins
-    from repro.net.topology import abilene, geant
-    from repro.stream import StreamConfig, StreamingDetectionEngine, synthetic_record_stream
-    from repro.traffic.generator import TrafficGenerator
-
-    topo = abilene() if args.network == "abilene" else geant()
-    n_bins = args.warmup_bins + args.live_bins
-    generator = TrafficGenerator(topo, TimeBins(n_bins=n_bins), seed=args.seed)
-    config = StreamConfig(
+    return StreamConfig(
         warmup_bins=args.warmup_bins,
         refit_every=args.refit_every,
         n_components=args.components,
@@ -294,61 +334,91 @@ def _cmd_stream(args) -> int:
         exact_histograms=args.exact,
         chunk_records=args.chunk_records,
     )
-    engine = StreamingDetectionEngine(topo, config)
-    mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
-    print(
-        f"streaming {topo.name}: {n_bins} bins x {topo.n_od_flows} OD flows, "
-        f"{mode}, warm-up {args.warmup_bins} bins"
-    )
-    source = synthetic_record_stream(
-        generator,
-        range(n_bins),
-        max_records_per_od=args.max_records,
-        seed=args.seed,
-    )
+
+
+def _drive_engine(topo, engine, source, json_path, verb="processed") -> int:
+    """Run a streaming engine over a source, printing verdicts + summary.
+
+    The shared tail of the ``stream`` and ``trace replay`` commands:
+    events() re-chunks, ingests, and flushes the final bin, so the
+    per-detection lines cover every scored bin.
+    """
+    import time
+
     start = time.perf_counter()
-    # events() re-chunks, ingests, and flushes the final bin, so the
-    # per-detection lines below cover every scored bin.
     for verdict in engine.events(source):
         _print_verdict(topo, verdict)
     report = engine.finish()
     elapsed = time.perf_counter() - start
     rate = report.n_records / elapsed if elapsed > 0 else float("inf")
     print(
-        f"processed {report.n_records} records -> {report.n_bins_scored} scored bins "
+        f"{verb} {report.n_records} records -> {report.n_bins_scored} scored bins "
         f"in {elapsed:.2f}s ({rate:,.0f} records/s)"
     )
     _print_detection_counts(report)
-    if args.json:
+    if json_path:
         from repro.io import write_report_json
 
-        print(f"wrote {write_report_json(report.to_diagnosis_report(), args.json)}")
+        print(f"wrote {write_report_json(report.to_diagnosis_report(), json_path)}")
     return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.net.topology import abilene, geant
+    from repro.stream import StreamingDetectionEngine, synthetic_record_stream
+
+    topo = abilene() if args.network == "abilene" else geant()
+    n_bins = args.warmup_bins + args.live_bins
+    engine = StreamingDetectionEngine(topo, _stream_config(args))
+    mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    origin = f"trace {args.trace}" if args.trace else "inline synthesis"
+    print(
+        f"streaming {topo.name}: {n_bins} bins x {topo.n_od_flows} OD flows, "
+        f"{mode}, warm-up {args.warmup_bins} bins, source: {origin}"
+    )
+    if args.trace:
+        from repro.io.trace import TraceReader
+
+        reader = TraceReader(args.trace)
+        reader.info.ensure_compatible(
+            network=topo.name,
+            min_bins=n_bins,
+            bin_width=engine.stage.bin_width,
+            start=engine.stage.start,
+        )
+        source = reader.iter_chunks(
+            chunk_records=args.chunk_records, bins=range(n_bins)
+        )
+    else:
+        from repro.flows.binning import TimeBins
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(topo, TimeBins(n_bins=n_bins), seed=args.seed)
+        source = synthetic_record_stream(
+            generator,
+            range(n_bins),
+            max_records_per_od=args.max_records,
+            seed=args.seed,
+        )
+    return _drive_engine(topo, engine, source, args.json)
 
 
 def _cmd_cluster(args) -> int:
     from repro.cluster import run_cluster
     from repro.net.topology import abilene, geant
-    from repro.stream import StreamConfig
 
     if args.shards < 1:
         raise ValueError("--shards must be >= 1")
     topo = abilene() if args.network == "abilene" else geant()
     n_bins = args.warmup_bins + args.live_bins
-    config = StreamConfig(
-        warmup_bins=args.warmup_bins,
-        refit_every=args.refit_every,
-        n_components=args.components,
-        alpha=args.alpha,
-        sketch_width=args.sketch_width,
-        exact_histograms=args.exact,
-        chunk_records=args.chunk_records,
-    )
+    config = _stream_config(args)
     mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    origin = f"shared trace {args.trace}" if args.trace else "per-worker synthesis"
     print(
         f"clustering {topo.name}: {args.shards} shards x "
         f"{(topo.n_od_flows + args.shards - 1) // args.shards} OD flows, "
-        f"{n_bins} bins, {mode}, warm-up {args.warmup_bins} bins"
+        f"{n_bins} bins, {mode}, warm-up {args.warmup_bins} bins, "
+        f"source: {origin}"
     )
 
     result = run_cluster(
@@ -360,6 +430,7 @@ def _cmd_cluster(args) -> int:
         max_records_per_od=args.max_records,
         queue_depth=args.queue_depth,
         on_detection=lambda verdict: _print_verdict(topo, verdict),
+        trace_path=args.trace,
     )
     report = result.report
     balance = ", ".join(
@@ -376,6 +447,83 @@ def _cmd_cluster(args) -> int:
 
         print(f"wrote {write_report_json(report.to_diagnosis_report(), args.json)}")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    import time
+
+    if args.trace_command == "write":
+        from repro.flows.binning import TimeBins
+        from repro.io.trace import write_trace
+        from repro.net.topology import abilene, geant
+        from repro.traffic.generator import TrafficGenerator
+
+        topo = abilene() if args.network == "abilene" else geant()
+        generator = TrafficGenerator(
+            topo, TimeBins(n_bins=args.bins), seed=args.seed
+        )
+        start = time.perf_counter()
+        info = write_trace(
+            args.output,
+            generator,
+            max_records_per_od=args.max_records,
+            seed=args.seed,
+            bin_group=args.bin_group,
+        )
+        elapsed = time.perf_counter() - start
+        rate = info.n_records / elapsed if elapsed > 0 else float("inf")
+        size_mb = info.path.stat().st_size / 1e6
+        print(
+            f"wrote {info.n_records} records ({info.n_bins} bins x "
+            f"{topo.n_od_flows} OD flows, {size_mb:.1f} MB) to {info.path} "
+            f"in {elapsed:.2f}s ({rate:,.0f} records/s)"
+        )
+        return 0
+
+    if args.trace_command == "info":
+        from repro.io.trace import trace_info
+
+        info = trace_info(args.path)
+        size_mb = info.path.stat().st_size / 1e6
+        print(f"{info.path}: {size_mb:.1f} MB")
+        print(f"  records : {info.n_records}")
+        print(f"  bins    : {info.n_bins} x {info.bins.width:.0f}s "
+              f"(start {info.bins.start:.0f})")
+        print(f"  network : {info.network or 'unknown'}")
+        counts = info.bin_counts
+        print(f"  per bin : min {int(counts.min())}, "
+              f"median {int(np.median(counts))}, max {int(counts.max())}")
+        for key in sorted(info.meta):
+            print(f"  meta.{key}: {info.meta[key]}")
+        return 0
+
+    # replay
+    from repro.io.trace import TraceReader
+    from repro.net.topology import abilene, geant
+    from repro.stream import StreamingDetectionEngine
+
+    reader = TraceReader(args.path)
+    network = reader.network.lower()
+    if network not in ("abilene", "geant"):
+        raise ValueError(
+            f"trace network {reader.network!r} is not a known topology"
+        )
+    topo = abilene() if network == "abilene" else geant()
+    # Replay adopts the trace's own bin grid (recorded in the header).
+    engine = StreamingDetectionEngine(
+        topo, _stream_config(args),
+        bin_width=reader.bins.width, start=reader.bins.start,
+    )
+    mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    print(
+        f"replaying {reader.path} ({reader.n_records} records, "
+        f"{reader.n_bins} bins, {topo.name}): {mode}, "
+        f"warm-up {args.warmup_bins} bins"
+    )
+    return _drive_engine(
+        topo, engine, reader.iter_chunks(args.chunk_records), args.json,
+        verb="replayed",
+    )
 
 
 def _cmd_experiment(args) -> int:
@@ -413,6 +561,7 @@ def main(argv: list[str] | None = None) -> int:
         "inject": _cmd_inject,
         "stream": _cmd_stream,
         "cluster": _cmd_cluster,
+        "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }
     try:

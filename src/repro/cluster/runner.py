@@ -2,19 +2,30 @@
 
 Ties the pieces together into the ``repro cluster`` command: N worker
 processes each run a :class:`repro.cluster.shard.ShardMonitor` over
-their OD-flow slice of a deterministic synthetic trace, ship wire-format
+their OD-flow slice of a deterministic trace, ship wire-format
 summaries through a bounded queue (back-pressure: a worker sleeping on a
-full queue stops materialising records), and the parent's
+full queue stops producing records), and the parent's
 :class:`repro.cluster.coordinator.ClusterCoordinator` merges and scores
 them with a :class:`repro.stream.engine.StreamingDetectionEngine`.
 
+Workers source their records one of two ways:
+
+* **shared trace file** (``trace_path``): every worker memory-maps the
+  *same* columnar trace (:mod:`repro.io.trace`) and keeps only its
+  OD-flow slice of each chunk — one producer pass at write time, zero
+  regeneration per worker;
+* **inline synthesis** (default): each worker materialises its OD
+  slice from a :class:`repro.traffic.generator.TrafficGenerator`.
+
 Determinism: the synthetic record stream seeds every (OD flow, bin)
 draw from ``SeedSequence([generator_seed, stream_seed, od, bin])``
-(see :func:`repro.stream.chunks.synthetic_record_stream`), so a worker
-materialises bit-identical records for its ODs no matter how many
-shards exist — the cluster's detections are therefore bin-for-bin
-identical to a single process consuming the whole trace (exact-histogram
-mode; sketch mode matches within estimator tolerance).
+(see :func:`repro.stream.chunks.synthetic_record_stream`), and a trace
+written by :func:`repro.io.trace.write_trace` replays those exact
+records — so whichever source a worker uses, it sees bit-identical
+records for its ODs no matter how many shards exist, and the cluster's
+detections are bin-for-bin identical to a single process consuming the
+whole trace (exact-histogram mode; sketch mode matches within
+estimator tolerance).
 """
 
 from __future__ import annotations
@@ -23,10 +34,12 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.shard import ShardMonitor
+from repro.flows.binning import BIN_SECONDS
 from repro.stream.chunks import iter_record_chunks, synthetic_record_stream
 from repro.stream.engine import StreamConfig, StreamDetection, StreamingDetectionEngine, StreamingReport
 
@@ -61,6 +74,9 @@ class _WorkerSpec:
     sketch_width: int
     sketch_depth: int
     sketch_seed: int
+    trace_path: str | None = None
+    bin_width: float = BIN_SECONDS
+    bin_start: float = 0.0
 
 
 def _build_topology(network: str):
@@ -71,36 +87,69 @@ def _build_topology(network: str):
     return abilene() if network == "abilene" else geant()
 
 
-def _shard_worker(spec: _WorkerSpec, queue) -> None:
-    """Worker entry point: materialise, reduce, ship, close."""
-    try:
-        from repro.flows.binning import TimeBins
-        from repro.traffic.generator import TrafficGenerator
+def _worker_source(spec: _WorkerSpec, topology, monitor):
+    """This shard's ``(chunk, ods)`` pairs: mmap'd trace slice or synthesis.
 
+    ``ods`` is the per-record OD attribution when the worker already
+    resolved it (the shared-trace slice path, where attribution doubles
+    as the shard filter — resolved once, fed to the monitor so the
+    stage does not repeat the longest-prefix pass), else None.
+    """
+    if spec.trace_path is not None:
+        from repro.io.trace import TraceReader
+
+        reader = TraceReader(spec.trace_path)
+        router = monitor.router  # share the stage's LPM tables
+        for chunk in reader.iter_chunks(
+            chunk_records=spec.chunk_records, bins=range(spec.n_bins)
+        ):
+            ods = router.resolve_ods_mixed(chunk.ingress_pop, chunk.dst_ip)
+            if spec.n_shards > 1:
+                mask = ods % spec.n_shards == spec.shard_id
+                if not mask.any():
+                    continue
+                chunk = chunk.select(mask)
+                ods = ods[mask]
+            yield chunk, ods
+        return
+    from repro.flows.binning import TimeBins
+    from repro.traffic.generator import TrafficGenerator
+
+    generator = TrafficGenerator(
+        topology,
+        TimeBins(n_bins=spec.n_bins, width=spec.bin_width, start=spec.bin_start),
+        seed=spec.seed,
+    )
+    ods = shard_ods(topology.n_od_flows, spec.n_shards, spec.shard_id)
+    source = synthetic_record_stream(
+        generator,
+        range(spec.n_bins),
+        ods=ods,
+        max_records_per_od=spec.max_records_per_od,
+        seed=spec.seed,
+    )
+    for chunk in iter_record_chunks(source, spec.chunk_records):
+        yield chunk, None
+
+
+def _shard_worker(spec: _WorkerSpec, queue) -> None:
+    """Worker entry point: produce records, reduce, ship, close."""
+    try:
         topology = _build_topology(spec.network)
-        generator = TrafficGenerator(
-            topology, TimeBins(n_bins=spec.n_bins), seed=spec.seed
-        )
         monitor = ShardMonitor(
             topology,
+            bin_width=spec.bin_width,
+            start=spec.bin_start,
             width=spec.sketch_width,
             depth=spec.sketch_depth,
             sketch_seed=spec.sketch_seed,
             exact=spec.exact,
             shard_id=spec.shard_id,
         )
-        ods = shard_ods(topology.n_od_flows, spec.n_shards, spec.shard_id)
-        source = synthetic_record_stream(
-            generator,
-            range(spec.n_bins),
-            ods=ods,
-            max_records_per_od=spec.max_records_per_od,
-            seed=spec.seed,
-        )
         n_records = 0
-        for chunk in iter_record_chunks(source, spec.chunk_records):
+        for chunk, ods in _worker_source(spec, topology, monitor):
             n_records += len(chunk)
-            for summary in monitor.ingest(chunk):
+            for summary in monitor.ingest(chunk, ods=ods):
                 queue.put(("summary", spec.shard_id, summary.to_bytes()))
         for summary in monitor.flush():
             queue.put(("summary", spec.shard_id, summary.to_bytes()))
@@ -146,17 +195,22 @@ def run_cluster(
     queue_depth: int = 16,
     start_method: str | None = None,
     on_detection: Callable[[StreamDetection], None] | None = None,
+    trace_path: str | Path | None = None,
 ) -> ClusterResult:
     """Run the sharded pipeline end-to-end on a synthetic trace.
 
     Args:
         network: ``"abilene"`` or ``"geant"``.
-        n_bins: Bins to stream (warm-up included).
-        seed: Master seed (generator and record draws).
+        n_bins: Bins to stream (warm-up included).  With a trace this
+            must not exceed the bins the trace covers; pass
+            ``trace_info(path).n_bins`` to stream all of it.
+        seed: Master seed (generator and record draws; unused when
+            replaying a trace).
         n_shards: Worker process count (>= 1).
         config: Engine knobs; ``exact_histograms``, sketch geometry and
             ``chunk_records`` also shape the shard monitors.
-        max_records_per_od: Records materialised per (OD flow, bin).
+        max_records_per_od: Records materialised per (OD flow, bin)
+            (inline synthesis only).
         queue_depth: Bound on in-flight summaries per queue — the
             back-pressure knob; workers block rather than outrun the
             coordinator.
@@ -164,6 +218,11 @@ def run_cluster(
             default, e.g. ``fork`` on Linux).
         on_detection: Callback invoked with each verdict as bins close
             (live output; the verdicts also land in the report).
+        trace_path: Optional recorded trace (:mod:`repro.io.trace`).
+            When given, every worker memory-maps this one file and
+            ingests only its OD slice of each chunk — no per-worker
+            record regeneration.  The trace's network must match
+            ``network``.
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
@@ -175,8 +234,21 @@ def run_cluster(
     if queue_depth < 1:
         raise ValueError("queue_depth must be >= 1")
     topology = _build_topology(network)
+    bin_width, bin_start = BIN_SECONDS, 0.0
+    if trace_path is not None:
+        from repro.io.trace import trace_info
+
+        info = trace_info(trace_path)
+        info.ensure_compatible(network=topology.name, min_bins=n_bins)
+        # The engine and every shard monitor adopt the trace's grid —
+        # re-binning a trace onto a different grid would silently
+        # change every per-bin feature.
+        bin_width, bin_start = info.bins.width, info.bins.start
+        trace_path = str(trace_path)
     config = config or StreamConfig()
-    engine = StreamingDetectionEngine(topology, config)
+    engine = StreamingDetectionEngine(
+        topology, config, bin_width=bin_width, start=bin_start
+    )
     coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
     specs = [
         _WorkerSpec(
@@ -191,6 +263,9 @@ def run_cluster(
             sketch_width=config.sketch_width,
             sketch_depth=config.sketch_depth,
             sketch_seed=config.sketch_seed,
+            trace_path=trace_path,
+            bin_width=bin_width,
+            bin_start=bin_start,
         )
         for shard_id in range(n_shards)
     ]

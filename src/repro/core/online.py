@@ -316,6 +316,45 @@ class OnlineVolumeDetector:
         self._level = new_level
         return residual
 
+    def _holt_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Whole-history Holt forecast residuals as one batched recurrence.
+
+        During warm-up no residual scale exists yet, so the Holt update
+        is unwinsorized and therefore *linear*: the residual sequence is
+        the output of a fixed second-order IIR filter of the input,
+
+            r_t - (2 - a - ab) r_{t-1} + (1 - a) r_{t-2}
+                = x_t - 2 x_{t-1} + x_{t-2}
+
+        with level gain ``a`` and trend gain ``b``.  One
+        :func:`scipy.signal.lfilter` call runs that recurrence over
+        every OD column at once — replacing the per-row Python loop —
+        and the closing level/trend state is recovered from the last
+        two one-step predictions, so subsequent :meth:`observe` calls
+        continue exactly where the loop would have left off.  The
+        initial state (level = first row, zero trend) corresponds to a
+        constant pre-history, i.e. zero past residuals.
+        """
+        from scipy.signal import lfilter
+
+        a, b = self.holt_level, self.holt_trend
+        x0 = rows[0]
+        den = np.array([1.0, -(2.0 - a - a * b), 1.0 - a])
+        num = np.array([1.0, -2.0, 1.0])
+        # Direct-form II transposed initial state for past inputs
+        # [x0, x0] and past outputs [0, 0] (the constant pre-history).
+        zi = np.stack([-x0, x0])
+        # One trailing zero-input step yields the next prediction
+        # (r = 0 - p), from which the final level/trend state follows.
+        fed = np.vstack([rows[1:], np.zeros_like(x0)[None, :]])
+        out, _ = lfilter(num, den, fed, axis=0, zi=zi)
+        residuals = out[:-1]
+        prediction_next = -out[-1]
+        prediction_last = rows[-1] - residuals[-1]
+        self._level = a * rows[-1] + (1.0 - a) * prediction_last
+        self._trend = prediction_next - self._level
+        return residuals
+
     def warm_up(self, history: np.ndarray) -> None:
         """Fit on a historical ``(t, p)`` matrix and seed the buffer."""
         history = np.asarray(history, dtype=np.float64)
@@ -325,9 +364,7 @@ class OnlineVolumeDetector:
             raise ValueError("history too short")
         rows = self._transform(history)
         if self.detrend == "holt":
-            self._level = rows[0].copy()
-            self._trend = np.zeros_like(self._level)
-            residuals = np.vstack([self._holt_update(row) for row in rows[1:]])
+            residuals = self._holt_batch(rows)
         else:
             residuals = rows
         self._buffer = residuals[-self.window :].copy()
@@ -433,7 +470,7 @@ class OnlineClassifier:
             self._centroids.append(v.copy())
             self._counts.append(1)
             return 0
-        dists = [float(np.linalg.norm(v - c)) for c in self._centroids]
+        dists = np.linalg.norm(np.vstack(self._centroids) - v, axis=1)
         best = int(np.argmin(dists))
         if dists[best] > self.spawn_distance:
             self._centroids.append(v.copy())

@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.net.addressing import anonymize_array, format_ip
 
-__all__ = ["PROTO_TCP", "PROTO_UDP", "PROTO_ICMP", "FlowRecord", "FlowRecordBatch"]
+__all__ = [
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "COLUMN_SPEC",
+    "FlowRecord",
+    "FlowRecordBatch",
+]
 
 PROTO_TCP = 6
 PROTO_UDP = 17
@@ -36,6 +43,10 @@ _COLUMNS = (
     ("timestamp", np.float64),
     ("ingress_pop", np.int64),
 )
+
+#: Public (name, dtype) schema of a batch, in storage order — the
+#: contract the columnar trace store (:mod:`repro.io.trace`) serializes.
+COLUMN_SPEC = _COLUMNS
 
 
 @dataclass(frozen=True)
@@ -124,10 +135,17 @@ class FlowRecordBatch:
 
     @classmethod
     def concat(cls, batches: Iterable["FlowRecordBatch"]) -> "FlowRecordBatch":
-        """Concatenate several batches."""
+        """Concatenate several batches.
+
+        A single non-empty input is returned as-is (batches are
+        immutable-by-convention, so sharing is safe) — the hot path when
+        a chunker's pending list holds exactly one piece.
+        """
         batches = [b for b in batches if len(b)]
         if not batches:
             return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
         columns = {
             name: np.concatenate([getattr(b, name) for b in batches])
             for name, _ in _COLUMNS
@@ -153,8 +171,13 @@ class FlowRecordBatch:
 
     # -- transformations ------------------------------------------------
 
-    def select(self, mask_or_index: np.ndarray) -> "FlowRecordBatch":
-        """Select rows by boolean mask or integer index array."""
+    def select(self, mask_or_index: np.ndarray | slice) -> "FlowRecordBatch":
+        """Select rows by boolean mask, integer index array, or slice.
+
+        Slices produce *view* columns (no copies) — the zero-copy path
+        chunked replay of memory-mapped traces depends on; masks and
+        index arrays copy, as numpy fancy indexing always does.
+        """
         columns = {
             name: getattr(self, name)[mask_or_index] for name, _ in _COLUMNS
         }

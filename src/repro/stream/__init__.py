@@ -7,7 +7,11 @@ feature stage, and :mod:`repro.stream.chunks` for bounded-memory record
 ingestion.
 """
 
-from repro.stream.chunks import iter_record_chunks, synthetic_record_stream
+from repro.stream.chunks import (
+    iter_record_chunks,
+    synthetic_record_stream,
+    trace_record_stream,
+)
 from repro.stream.engine import (
     StreamConfig,
     StreamDetection,
@@ -19,6 +23,7 @@ from repro.stream.window import BinAccumulator, BinSummary, StreamFeatureStage
 __all__ = [
     "iter_record_chunks",
     "synthetic_record_stream",
+    "trace_record_stream",
     "StreamConfig",
     "StreamDetection",
     "StreamingDetectionEngine",

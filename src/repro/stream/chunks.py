@@ -6,22 +6,25 @@ iterable of :class:`repro.flows.records.FlowRecordBatch` into batches of
 at most ``chunk_records`` rows, preserving record order, so downstream
 stages see a predictable memory envelope regardless of the source.
 
-:func:`synthetic_record_stream` is the matching source for the
-reproduction: it materialises one (OD flow, bin) at a time from a
-:class:`repro.traffic.generator.TrafficGenerator`, so an arbitrarily
-long synthetic trace can be streamed without ever holding more than one
-bin of records in memory.
+Two matching sources cover the reproduction's workloads:
+
+* :func:`synthetic_record_stream` materialises one bin at a time from a
+  :class:`repro.traffic.generator.TrafficGenerator` (via the batched
+  whole-bin path), so an arbitrarily long synthetic trace can be
+  streamed without ever holding more than one bin group of records;
+* :func:`trace_record_stream` replays a columnar trace file written by
+  :mod:`repro.io.trace` as zero-copy memory-mapped views — the fast
+  path once a trace has been recorded.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
-
-import numpy as np
 
 from repro.flows.records import FlowRecordBatch
 
-__all__ = ["iter_record_chunks", "synthetic_record_stream"]
+__all__ = ["iter_record_chunks", "synthetic_record_stream", "trace_record_stream"]
 
 DEFAULT_CHUNK_RECORDS = 8192
 
@@ -42,10 +45,13 @@ def iter_record_chunks(
         Non-empty :class:`FlowRecordBatch` chunks of at most
         ``chunk_records`` rows covering exactly the source records in
         their original order.  A batch that already fits the bound while
-        nothing is pending is forwarded *as-is* (no array copies) — the
-        hot ingest path when the collector's export batches are already
-        well-sized — so chunk boundaries, though never exceeding the
-        bound, depend on how the source was batched.
+        nothing is pending is forwarded *as-is*, and a larger batch is
+        carved into slice *views* (no column copies) — so a view-backed
+        source such as a memory-mapped trace replays without forcing
+        any column into fresh memory.  Copies happen only when a chunk
+        must stitch together rows from more than one source batch.
+        Chunk boundaries, though never exceeding the bound, depend on
+        how the source was batched.
     """
     if chunk_records < 1:
         raise ValueError("chunk_records must be positive")
@@ -63,11 +69,13 @@ def iter_record_chunks(
         start = 0
         while start < n:
             take = min(n - start, chunk_records - pending_rows)
-            piece = batch.select(np.arange(start, start + take))
+            piece = batch if take == n else batch.select(slice(start, start + take))
             pending.append(piece)
             pending_rows += take
             start += take
             if pending_rows == chunk_records:
+                # concat() forwards a lone piece untouched, so carving
+                # one big batch into full chunks never copies columns.
                 yield FlowRecordBatch.concat(pending)
                 pending, pending_rows = [], 0
     if pending_rows:
@@ -99,33 +107,54 @@ def synthetic_record_stream(
 
     Yields:
         One time-sorted :class:`FlowRecordBatch` per bin, in ``bins``
-        order.
+        order.  Records are drawn from per-(OD, bin) ``record_rng``
+        streams, so a cluster shard materialising only its OD slice
+        yields records bit-identical to a whole-trace sweep — and a
+        trace written by :func:`repro.io.trace.write_trace` replays
+        bit-identical to this inline stream.
     """
     if bin_group < 1:
         raise ValueError("bin_group must be positive")
     if ods is None:
         ods = range(generator.topology.n_od_flows)
+    ods = [int(od) for od in ods]
     bins = [int(b) for b in bins]
     for g in range(0, len(bins), bin_group):
         group = bins[g : g + bin_group]
-        per_bin: dict[int, list[FlowRecordBatch]] = {b: [] for b in group}
-        for od in ods:
-            od = int(od)
-            for b in group:
-                # record_rng pins the draw to (seed, od, b) alone, so a
-                # cluster shard materialising only its OD slice yields
-                # records bit-identical to a whole-trace sweep.
-                per_bin[b].append(
-                    generator.materialize_bin(
-                        od,
-                        b,
-                        rng=generator.record_rng(od, b, salt=seed),
-                        max_records=max_records_per_od,
-                    )
-                )
-            # materialize_bin caches the OD's full histogram stream;
-            # evict (as generate() does) so sweeping every OD stays
-            # bounded.
-            generator.evict_stream(od)
-        for b in group:
-            yield FlowRecordBatch.concat(per_bin.pop(b)).sort_by_time()
+        yield from generator.materialize_bin_group(
+            ods, group, max_records=max_records_per_od, salt=seed
+        )
+
+
+def trace_record_stream(
+    trace,
+    bins: Sequence[int] | None = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    row_filter=None,
+) -> Iterator[FlowRecordBatch]:
+    """Replay a recorded columnar trace as zero-copy record chunks.
+
+    Args:
+        trace: A trace path or an open
+            :class:`repro.io.trace.TraceReader`.
+        bins: Bin indices to replay (default: the whole trace).
+        chunk_records: Upper bound on records per yielded chunk.
+        row_filter: Optional ``batch -> bool mask`` predicate (e.g. a
+            cluster shard keeping only its OD slice); see
+            :meth:`repro.io.trace.TraceReader.iter_chunks`.
+
+    Yields:
+        Time-ordered :class:`FlowRecordBatch` chunks whose columns are
+        views into the file mapping (no copies unless filtered).
+    """
+    from repro.io.trace import TraceReader
+
+    if isinstance(trace, (str, Path)):
+        with TraceReader(trace) as reader:
+            yield from reader.iter_chunks(
+                chunk_records=chunk_records, bins=bins, row_filter=row_filter
+            )
+    else:
+        yield from trace.iter_chunks(
+            chunk_records=chunk_records, bins=bins, row_filter=row_filter
+        )

@@ -27,6 +27,7 @@ batch pipeline emits — so tables, exports and tests work on either.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -421,19 +422,51 @@ class StreamingDetectionEngine:
             classifier=self.classifier,
         )
 
+    def _chunks(
+        self, source: "str | Path | FlowRecordBatch | Iterable[FlowRecordBatch]"
+    ) -> Iterator[FlowRecordBatch]:
+        """Normalise any record source into bounded chunks.
+
+        A string or :class:`~pathlib.Path` names a columnar trace file
+        (:mod:`repro.io.trace`): it is replayed as zero-copy
+        memory-mapped chunks sized by ``config.chunk_records``, after
+        checking that the trace's network and bin grid match this
+        engine's (replaying onto a different grid would silently re-bin
+        every record).
+        """
+        if isinstance(source, (str, Path)):
+            from repro.io.trace import trace_info
+            from repro.stream.chunks import trace_record_stream
+
+            trace_info(source).ensure_compatible(
+                network=self.topology.name,
+                bin_width=self.stage.bin_width,
+                start=self.stage.start,
+            )
+            return trace_record_stream(
+                source, chunk_records=self.config.chunk_records
+            )
+        return iter_record_chunks(source, self.config.chunk_records)
+
     def process(
-        self, source: FlowRecordBatch | Iterable[FlowRecordBatch]
+        self, source: "str | Path | FlowRecordBatch | Iterable[FlowRecordBatch]"
     ) -> StreamingReport:
-        """Run a whole record stream end-to-end (re-chunked, bounded)."""
-        for chunk in iter_record_chunks(source, self.config.chunk_records):
+        """Run a whole record stream end-to-end (re-chunked, bounded).
+
+        ``source`` may also be a trace-file path, replayed zero-copy.
+        """
+        for chunk in self._chunks(source):
             self.ingest(chunk)
         return self.finish()
 
     def events(
-        self, source: FlowRecordBatch | Iterable[FlowRecordBatch]
+        self, source: "str | Path | FlowRecordBatch | Iterable[FlowRecordBatch]"
     ) -> Iterator[StreamDetection]:
-        """Iterate bin verdicts as the stream is consumed (lazy)."""
-        for chunk in iter_record_chunks(source, self.config.chunk_records):
+        """Iterate bin verdicts as the stream is consumed (lazy).
+
+        ``source`` may also be a trace-file path, replayed zero-copy.
+        """
+        for chunk in self._chunks(source):
             yield from self.ingest(chunk)
         for summary in self.stage.flush():
             verdict = self._observe(summary)

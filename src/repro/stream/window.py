@@ -274,7 +274,9 @@ class StreamFeatureStage:
             exact=self.exact,
         )
 
-    def ingest(self, batch: FlowRecordBatch) -> list[BinSummary]:
+    def ingest(
+        self, batch: FlowRecordBatch, ods: np.ndarray | None = None
+    ) -> list[BinSummary]:
         """Feed one chunk; returns summaries of any bins it closed.
 
         Chunks must arrive in (roughly) time order: records for bins
@@ -282,15 +284,27 @@ class StreamFeatureStage:
         and dropped, mirroring a collector's export-window discard.
         Gaps in the bin sequence yield empty summaries so downstream
         detectors see every bin exactly once.
+
+        Args:
+            batch: The record chunk.
+            ods: Optional per-record OD attribution aligned with the
+                batch.  Callers that already resolved ODs (a cluster
+                worker slicing a shared trace) pass them here to skip
+                the stage's own longest-prefix pass; by default the
+                stage resolves via its router.
         """
         closed: list[BinSummary] = []
         if len(batch) == 0:
             return closed
+        if ods is not None and len(ods) != len(batch):
+            raise ValueError("ods must align with the batch")
         idx = np.floor((batch.timestamp - self.start) / self.bin_width).astype(np.int64)
         if idx.size > 1 and np.any(idx[1:] < idx[:-1]):
             order = np.argsort(idx, kind="stable")
             idx = idx[order]
             batch = batch.select(order)
+            if ods is not None:
+                ods = ods[order]
         distinct = np.unique(idx)
         single_bin = len(distinct) == 1
         for b in distinct:
@@ -309,8 +323,11 @@ class StreamFeatureStage:
                 anon = sub.anonymized(self.topology.anonymization_bits)
             else:
                 anon = sub
-            ods = self.router.resolve_ods_mixed(sub.ingress_pop, sub.dst_ip)
-            self._current.add_batch(ods, anon)
+            if ods is None:
+                sub_ods = self.router.resolve_ods_mixed(sub.ingress_pop, sub.dst_ip)
+            else:
+                sub_ods = ods if single_bin else ods[mask]
+            self._current.add_batch(sub_ods, anon)
         return closed
 
     def ingest_histograms(

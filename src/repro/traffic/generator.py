@@ -493,6 +493,165 @@ class TrafficGenerator:
             ingress_pop=np.full(n_records, origin.index, dtype=np.int64),
         )
 
+    # -- batched whole-bin materialisation ---------------------------------
+
+    def _ip_table(self) -> np.ndarray:
+        """``(n_pops, n_hosts)`` address matrix, one pool row per PoP.
+
+        Every pool has the same size (4x the largest feature support),
+        so rank ``r`` of PoP ``j`` is ``table[j, r % n_hosts]`` — the
+        vectorised equivalent of ``np.resize(pool.addresses, n)[r]``.
+        """
+        table = getattr(self, "_ip_table_cache", None)
+        if table is None:
+            table = np.vstack(
+                [self._pool(j).addresses for j in range(self.topology.n_pops)]
+            )
+            self._ip_table_cache = table
+        return table
+
+    @staticmethod
+    def _port_values(ranks: np.ndarray) -> np.ndarray:
+        """Vectorised rank -> port mapping (well-known head, then ephemeral).
+
+        Matches :meth:`feature_values` for port features: rank ``r``
+        maps to the ``r``-th well-known port while one exists, then to
+        consecutive ephemeral ports.
+        """
+        known = well_known_ports()
+        clipped = np.minimum(ranks, len(known) - 1)
+        ephemeral = EPHEMERAL_PORT_START + (ranks - len(known))
+        return np.where(ranks < len(known), known[np.maximum(clipped, 0)], ephemeral)
+
+    def materialize_bin_group(
+        self,
+        ods,
+        group: "list[int]",
+        max_records: int = 4000,
+        salt: int = 0,
+        evict: bool = True,
+    ) -> "list[FlowRecordBatch]":
+        """Materialise several bins for many OD flows in one batched pass.
+
+        Semantically identical to calling :meth:`materialize_bin` for
+        every ``(od, b)`` with ``rng=self.record_rng(od, b, salt)``,
+        concatenating each bin's per-OD batches in ``ods`` order and
+        stable-sorting by timestamp — and *bit-identical* to it: every
+        random draw comes from the same per-(OD, bin) ``record_rng``
+        stream in the same order, so traces written through this path
+        reproduce the records the per-OD loop produced.  What is
+        batched is everything around the draws: rank-to-value mapping
+        goes through one precomputed per-PoP address table and one
+        vectorised port formula, and each bin assembles its nine
+        columns with a single concatenate + sort instead of one
+        :class:`FlowRecordBatch` per OD flow.
+
+        Args:
+            ods: OD flows to include (ints; order fixes record order
+                before the time sort).
+            group: Bin indices to materialise in this pass.
+            max_records: Cap on records per (OD flow, bin).
+            salt: Extra seed mixed into every record draw.
+            evict: Drop each OD's cached histogram stream after use
+                (the bounded-memory default for whole-trace sweeps).
+
+        Returns:
+            One time-sorted batch per bin, in ``group`` order.
+        """
+        group = [int(b) for b in group]
+        n_bins_grp = len(group)
+        names = ("src_ip", "src_port", "dst_ip", "dst_port")
+        # Per-bin accumulators: per-OD draw arrays, joined once per bin.
+        lengths: list[list[int]] = [[] for _ in range(n_bins_grp)]
+        pkts_parts: list[list[np.ndarray]] = [[] for _ in range(n_bins_grp)]
+        ts_parts: list[list[np.ndarray]] = [[] for _ in range(n_bins_grp)]
+        rank_parts: list[list[list[np.ndarray]]] = [
+            [[] for _ in range(N_FEATURES)] for _ in range(n_bins_grp)
+        ]
+        origin_pops: list[list[int]] = [[] for _ in range(n_bins_grp)]
+        dest_pops: list[list[int]] = [[] for _ in range(n_bins_grp)]
+        sampling = self.histogram_sampling
+        width = self.bins.width
+        for od in ods:
+            od = int(od)
+            stream = self.od_stream(od)
+            origin, destination = self.topology.od_pair(od)
+            for j, b in enumerate(group):
+                rng = self.record_rng(od, b, salt=salt)
+                total_packets = max(int(stream.packets[b]) // sampling, 1)
+                n_records = int(min(max_records, max(1, total_packets // 3)))
+                weights = rng.pareto(1.5, size=n_records) + 1.0
+                pkts = np.maximum(1, np.round(weights * total_packets / weights.sum()))
+                pkts_parts[j].append(pkts.astype(np.int64))
+                for k in range(N_FEATURES):
+                    counts = stream.histograms[k][b].astype(np.float64)
+                    total = counts.sum()
+                    if total <= 0:
+                        # materialize_bin emits literal zeros here (and
+                        # skips the rng.choice draw); rank -1 marks it.
+                        ranks = np.full(n_records, -1, dtype=np.int64)
+                    else:
+                        # Draw-for-draw identical to materialize_bin's
+                        # rng.choice(len(counts), size, p=counts/total):
+                        # Generator.choice builds this cdf, renormalises
+                        # it, and searches one rng.random(size) batch —
+                        # done inline to skip its per-call validation
+                        # (pinned against rng.choice by the
+                        # materialize-equivalence tests).
+                        cdf = (counts / total).cumsum()
+                        cdf /= cdf[-1]
+                        ranks = cdf.searchsorted(
+                            rng.random(n_records), side="right"
+                        ).astype(np.int64)
+                    rank_parts[j][k].append(ranks)
+                ts_parts[j].append(rng.uniform(0, width, size=n_records))
+                lengths[j].append(n_records)
+                origin_pops[j].append(origin.index)
+                dest_pops[j].append(destination.index)
+            if evict:
+                self.evict_stream(od)
+        ip_table = self._ip_table()
+        n_hosts = ip_table.shape[1]
+        size = self.config.mean_packet_size
+        out: list[FlowRecordBatch] = []
+        for j, b in enumerate(group):
+            counts_j = np.asarray(lengths[j], dtype=np.int64)
+            packets = np.concatenate(pkts_parts[j]) if pkts_parts[j] else np.zeros(0, np.int64)
+            timestamps = self.bins.bin_start(b) + (
+                np.concatenate(ts_parts[j]) if ts_parts[j] else np.zeros(0)
+            )
+            columns: dict[str, np.ndarray] = {}
+            for k, name in enumerate(names):
+                ranks = (
+                    np.concatenate(rank_parts[j][k])
+                    if rank_parts[j][k]
+                    else np.zeros(0, np.int64)
+                )
+                if name in ("src_ip", "dst_ip"):
+                    pops = origin_pops[j] if name == "src_ip" else dest_pops[j]
+                    row_pop = np.repeat(np.asarray(pops, dtype=np.int64), counts_j)
+                    values = ip_table[row_pop, ranks % n_hosts]
+                else:
+                    values = self._port_values(ranks)
+                columns[name] = np.where(ranks >= 0, values, 0)
+            order = np.argsort(timestamps, kind="stable")
+            out.append(
+                FlowRecordBatch(
+                    src_ip=columns["src_ip"][order],
+                    dst_ip=columns["dst_ip"][order],
+                    src_port=columns["src_port"][order],
+                    dst_port=columns["dst_port"][order],
+                    protocol=np.full(len(order), 6, dtype=np.int64),
+                    packets=packets[order],
+                    bytes=np.round(packets * size).astype(np.int64)[order],
+                    timestamp=timestamps[order],
+                    ingress_pop=np.repeat(
+                        np.asarray(origin_pops[j], dtype=np.int64), counts_j
+                    )[order],
+                )
+            )
+        return out
+
 
 def feature_index_of(name: str) -> int:
     """Index of a feature name in FEATURES (local helper)."""

@@ -108,3 +108,82 @@ class TestOnlineClassifier:
         clf = OnlineClassifier(np.ones((1, 4)))
         with pytest.raises(ValueError):
             clf.assign(np.ones(3))
+
+
+class TestBatchedHoltWarmup:
+    """The lfilter-based warm-up recurrence must match the step loop."""
+
+    @staticmethod
+    def _loop_reference(detector, rows):
+        """The original per-row Holt recurrence (unwinsorized warm-up)."""
+        level = rows[0].copy()
+        trend = np.zeros_like(level)
+        residuals = []
+        for row in rows[1:]:
+            prediction = level + trend
+            residual = row - prediction
+            effective = prediction + residual
+            new_level = (
+                detector.holt_level * effective
+                + (1 - detector.holt_level) * prediction
+            )
+            trend = (
+                detector.holt_trend * (new_level - level)
+                + (1 - detector.holt_trend) * trend
+            )
+            level = new_level
+            residuals.append(residual)
+        return np.vstack(residuals), level, trend
+
+    @pytest.mark.parametrize("t,p", [(8, 2), (50, 7), (288, 121)])
+    def test_matches_step_recurrence(self, t, p):
+        from repro.core.online import OnlineVolumeDetector
+
+        rng = np.random.default_rng(t * p)
+        rows = np.abs(rng.normal(1000.0, 250.0, size=(t, p)))
+        detector = OnlineVolumeDetector(
+            window=min(t, 48), transform="sqrt", detrend="holt",
+            n_components=2, refit_every=0,
+        )
+        transformed = detector._transform(rows)
+        want_res, want_level, want_trend = self._loop_reference(
+            detector, transformed
+        )
+        got = detector._holt_batch(transformed)
+        np.testing.assert_allclose(got, want_res, rtol=1e-9, atol=1e-8)
+        np.testing.assert_allclose(detector._level, want_level, atol=1e-8)
+        np.testing.assert_allclose(detector._trend, want_trend, atol=1e-8)
+
+    def test_observe_continues_from_batch_state(self):
+        """Scoring after warm-up must behave as if the loop had run."""
+        from repro.core.online import OnlineVolumeDetector
+
+        rng = np.random.default_rng(11)
+        history = np.abs(rng.normal(500.0, 60.0, size=(64, 9)))
+        detector = OnlineVolumeDetector(
+            window=32, transform="sqrt", detrend="holt",
+            n_components=3, refit_every=0,
+        )
+        detector.warm_up(history)
+        # A clean continuation row scores clean; a 50x spike detects.
+        clean = history[-1]
+        detected, spe = detector.observe(clean)
+        assert not detected and spe >= 0.0
+        spiked = clean.copy()
+        spiked[4] *= 50.0
+        detected, spe = detector.observe(spiked)
+        assert detected and spe > detector.threshold
+
+
+class TestVectorizedCentroidDistances:
+    def test_assignments_match_scalar_norms(self):
+        rng = np.random.default_rng(2)
+        centroids = rng.normal(size=(6, N_FEATURES))
+        for _ in range(50):
+            v = rng.normal(size=N_FEATURES)
+            clf = OnlineClassifier(centroids, spawn_distance=1.0)
+            got = clf.assign(v, update=False)
+            dists = [float(np.linalg.norm(v - c)) for c in centroids]
+            best = int(np.argmin(dists))
+            want = best if dists[best] <= 1.0 else clf.n_clusters - 1
+            assert got == want

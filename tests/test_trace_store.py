@@ -1,0 +1,467 @@
+"""Tests for the columnar trace store and zero-copy replay path.
+
+Load-bearing contracts:
+
+* **round trip** — a trace written bin by bin reads back byte-identical
+  columns and bin slices for arbitrary record counts and bin
+  boundaries (hypothesis);
+* **generation equivalence** — the batched whole-bin materialisation
+  path is bit-identical to the legacy per-(OD, bin)
+  ``materialize_bin`` loop, so written traces reproduce the records
+  inline synthesis produced;
+* **replay equivalence** — exact-mode detections from a replayed trace
+  match inline generation exactly, and ``run_cluster`` workers reading
+  one shared trace file produce identical detections at any worker
+  count;
+* **zero copy** — replayed chunks share memory with the file mapping,
+  through ``iter_record_chunks`` included;
+* **failure modes** — truncated or corrupted files fail loudly with a
+  clear :class:`repro.io.TraceError`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.flows.binning import TimeBins
+from repro.flows.records import COLUMN_SPEC, FlowRecordBatch
+from repro.io import TraceError, TraceReader, TraceWriter, trace_info, write_trace
+from repro.net.topology import abilene
+from repro.stream import (
+    StreamConfig,
+    StreamingDetectionEngine,
+    iter_record_chunks,
+    synthetic_record_stream,
+    trace_record_stream,
+)
+from repro.cluster import run_cluster
+from repro.flows.odflows import ODFlowAggregator
+from repro.traffic.generator import TrafficGenerator
+
+N_BINS = 14
+WARMUP_BINS = 10
+MAX_RECORDS_PER_OD = 25
+SEED = 5
+
+
+def _random_batch(n, rng, t0=0.0, width=300.0):
+    return FlowRecordBatch(
+        src_ip=rng.integers(0, 1 << 32, size=n),
+        dst_ip=rng.integers(0, 1 << 32, size=n),
+        src_port=rng.integers(0, 1 << 16, size=n),
+        dst_port=rng.integers(0, 1 << 16, size=n),
+        protocol=rng.choice([1, 6, 17], size=n),
+        packets=rng.integers(1, 100, size=n),
+        bytes=rng.integers(40, 1500, size=n),
+        timestamp=np.sort(t0 + rng.uniform(0, width, size=n)),
+        ingress_pop=rng.integers(0, 11, size=n),
+    )
+
+
+def _write(path, per_bin_batches, **kwargs):
+    with TraceWriter(path, n_bins=len(per_bin_batches), **kwargs) as writer:
+        for b, batch in enumerate(per_bin_batches):
+            writer.append(b, batch)
+    return writer.info
+
+
+def _columns_equal(a: FlowRecordBatch, b: FlowRecordBatch):
+    assert len(a) == len(b)
+    for name, _ in COLUMN_SPEC:
+        assert getattr(a, name).tobytes() == getattr(b, name).tobytes(), name
+
+
+@pytest.fixture(scope="module")
+def small_trace(tmp_path_factory):
+    """A written trace plus the inline batches it must reproduce."""
+    path = tmp_path_factory.mktemp("traces") / "abilene.trace"
+    generator = TrafficGenerator(abilene(), TimeBins(n_bins=N_BINS), seed=SEED)
+    info = write_trace(
+        path, generator, max_records_per_od=MAX_RECORDS_PER_OD, seed=SEED
+    )
+    inline_gen = TrafficGenerator(abilene(), TimeBins(n_bins=N_BINS), seed=SEED)
+    batches = list(
+        synthetic_record_stream(
+            inline_gen, range(N_BINS), max_records_per_od=MAX_RECORDS_PER_OD,
+            seed=SEED,
+        )
+    )
+    return path, info, batches
+
+
+class TestRoundTrip:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        bin_counts=st.lists(st.integers(0, 60), min_size=1, max_size=6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_write_read_property(self, tmp_path_factory, bin_counts, seed):
+        rng = np.random.default_rng(seed)
+        batches = [
+            _random_batch(n, rng, t0=300.0 * b) for b, n in enumerate(bin_counts)
+        ]
+        path = tmp_path_factory.mktemp("prop") / "t.trace"
+        info = _write(path, batches, network="testnet", meta={"k": 1})
+        assert info.n_records == sum(bin_counts)
+        assert info.bin_counts.tolist() == bin_counts
+        with TraceReader(path) as reader:
+            assert reader.n_bins == len(bin_counts)
+            assert reader.network == "testnet"
+            assert reader.meta["k"] == 1
+            for b, batch in enumerate(batches):
+                _columns_equal(reader.read_bin(b), batch)
+            _columns_equal(
+                FlowRecordBatch.concat(list(reader.iter_chunks(chunk_records=17))),
+                FlowRecordBatch.concat(batches),
+            )
+
+    def test_multiple_appends_per_bin_and_gaps(self, tmp_path):
+        rng = np.random.default_rng(3)
+        a, b = _random_batch(5, rng, t0=300.0), _random_batch(7, rng, t0=300.0)
+        with TraceWriter(tmp_path / "t.trace", n_bins=4) as writer:
+            writer.append(1, a)
+            writer.append(1, b)
+            writer.append(3, FlowRecordBatch.empty())
+        with TraceReader(tmp_path / "t.trace") as reader:
+            assert reader.info.bin_counts.tolist() == [0, 12, 0, 0]
+            _columns_equal(reader.read_bin(1), FlowRecordBatch.concat([a, b]))
+            assert len(reader.read_bin(0)) == 0
+
+    def test_writer_rejects_misuse(self, tmp_path):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TraceWriter(tmp_path / "x.trace", n_bins=0)
+        writer = TraceWriter(tmp_path / "t.trace", n_bins=3)
+        writer.append(2, _random_batch(1, rng, t0=600.0))
+        with pytest.raises(ValueError):  # decreasing bin order
+            writer.append(1, _random_batch(1, rng, t0=300.0))
+        with pytest.raises(ValueError):  # out of range
+            writer.append(3, _random_batch(1, rng, t0=900.0))
+        with pytest.raises(ValueError, match="outside"):  # wrong bin's time
+            writer.append(2, _random_batch(1, rng, t0=0.0))
+        writer.close()
+        with pytest.raises(ValueError):  # closed
+            writer.append(2, _random_batch(1, rng, t0=600.0))
+
+    def test_abort_leaves_no_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        try:
+            with TraceWriter(path, n_bins=2) as writer:
+                writer.append(0, _random_batch(4, np.random.default_rng(0)))
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # spools cleaned up too
+
+    def test_trace_info_matches_reader(self, small_trace):
+        path, info, _ = small_trace
+        parsed = trace_info(path)
+        assert parsed.n_records == info.n_records
+        assert parsed.n_bins == info.n_bins == N_BINS
+        assert parsed.bins == TimeBins(n_bins=N_BINS)
+        assert parsed.meta["max_records_per_od"] == MAX_RECORDS_PER_OD
+
+
+class TestCorruptTraces:
+    def _valid(self, tmp_path):
+        path = tmp_path / "t.trace"
+        _write(path, [_random_batch(20, np.random.default_rng(1))])
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read trace"):
+            TraceReader(tmp_path / "nope.trace")
+
+    def test_bad_magic(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTATRCE"
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="bad magic"):
+            TraceReader(path)
+
+    def test_truncated_data(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(TraceError, match="truncated or padded"):
+            TraceReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._valid(tmp_path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(TraceError, match="truncated"):
+            TraceReader(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = self._valid(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[17] = ord("!")  # break the JSON payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="corrupt trace header"):
+            TraceReader(path)
+
+    def test_trace_error_is_value_error(self):
+        assert issubclass(TraceError, ValueError)
+
+
+class TestGenerationEquivalence:
+    """The batched whole-bin path must match the per-OD loop bit for bit."""
+
+    def test_matches_legacy_per_od_loop(self):
+        topology = abilene()
+        ods = [0, 3, 7, 110]
+        bins = range(5)
+        legacy_gen = TrafficGenerator(topology, TimeBins(n_bins=5), seed=SEED)
+        per_bin = {b: [] for b in bins}
+        for od in ods:
+            for b in bins:
+                per_bin[b].append(
+                    legacy_gen.materialize_bin(
+                        od, b,
+                        rng=legacy_gen.record_rng(od, b, salt=SEED),
+                        max_records=MAX_RECORDS_PER_OD,
+                    )
+                )
+            legacy_gen.evict_stream(od)
+        legacy = [
+            FlowRecordBatch.concat(per_bin[b]).sort_by_time() for b in bins
+        ]
+        batched_gen = TrafficGenerator(topology, TimeBins(n_bins=5), seed=SEED)
+        batched = batched_gen.materialize_bin_group(
+            ods, list(bins), max_records=MAX_RECORDS_PER_OD, salt=SEED
+        )
+        for a, b in zip(legacy, batched):
+            _columns_equal(a, b)
+
+    def test_stream_seed_and_od_slice_change_records(self):
+        generator = TrafficGenerator(abilene(), TimeBins(n_bins=2), seed=SEED)
+        base = generator.materialize_bin_group([1], [0], salt=0)[0]
+        other_salt = generator.materialize_bin_group([1], [0], salt=9)[0]
+        assert base.timestamp.tobytes() != other_salt.timestamp.tobytes()
+
+
+class TestReplayEquivalence:
+    def test_trace_reproduces_inline_records(self, small_trace):
+        path, _, batches = small_trace
+        with TraceReader(path) as reader:
+            for b, batch in enumerate(batches):
+                _columns_equal(reader.read_bin(b), batch)
+
+    def test_exact_detections_identical(self, small_trace):
+        path, _, batches = small_trace
+        config = StreamConfig(
+            warmup_bins=WARMUP_BINS, refit_every=0, n_components=4,
+            exact_histograms=True,
+        )
+        topology = abilene()
+        inline = StreamingDetectionEngine(topology, config).process(batches)
+        replayed = StreamingDetectionEngine(topology, config).process(str(path))
+        assert inline.n_records == replayed.n_records
+
+        def render(report):
+            return [
+                (d.bin, d.detected_by_entropy, d.detected_by_volume,
+                 d.spe_entropy, d.threshold, tuple(f.od for f in d.flows),
+                 d.cluster, d.n_records)
+                for d in report.detections
+            ]
+
+        assert render(inline) == render(replayed)
+
+    def test_batch_pipeline_accepts_trace(self, small_trace):
+        path, _, batches = small_trace
+        topology = abilene()
+        bins = TimeBins(n_bins=N_BINS)
+        from_batch = ODFlowAggregator(topology).aggregate(
+            FlowRecordBatch.concat(batches), bins
+        )
+        from_trace = ODFlowAggregator(topology).aggregate_trace(path)
+        np.testing.assert_array_equal(from_trace.packets, from_batch.packets)
+        np.testing.assert_array_equal(from_trace.bytes, from_batch.bytes)
+        np.testing.assert_array_equal(from_trace.entropy, from_batch.entropy)
+
+    def test_cluster_workers_share_trace(self, small_trace):
+        path, _, _ = small_trace
+        config = StreamConfig(
+            warmup_bins=WARMUP_BINS, refit_every=0, drift_reset_after=0,
+            n_components=4, exact_histograms=True,
+        )
+        kwargs = dict(network="abilene", n_bins=N_BINS, seed=SEED,
+                      config=config, trace_path=path)
+        single = run_cluster(n_shards=1, **kwargs)
+        sharded = run_cluster(n_shards=2, **kwargs)
+        assert single.n_records == sharded.n_records > 0
+        assert sum(sharded.shard_records.values()) == sharded.n_records
+        assert [
+            (d.bin, d.detected_by_entropy, d.detected_by_volume)
+            for d in sharded.report.detections
+        ] == [
+            (d.bin, d.detected_by_entropy, d.detected_by_volume)
+            for d in single.report.detections
+        ]
+
+    def test_engine_rejects_mismatched_bin_grid(self, tmp_path):
+        """Replaying onto a different grid must raise, not silently re-bin."""
+        topology = abilene()
+        generator = TrafficGenerator(
+            topology, TimeBins(n_bins=4, width=600.0), seed=SEED
+        )
+        path = tmp_path / "wide.trace"
+        write_trace(path, generator, max_records_per_od=5)
+        engine = StreamingDetectionEngine(
+            topology, StreamConfig(warmup_bins=10)
+        )  # default 300s grid
+        with pytest.raises(ValueError, match="binned on 600s"):
+            engine.process(str(path))
+        # An engine built on the trace's grid replays fine.
+        adopted = StreamingDetectionEngine(
+            topology, StreamConfig(warmup_bins=10), bin_width=600.0
+        )
+        report = adopted.process(str(path))
+        assert report.n_records == trace_info(path).n_records
+
+    def test_cluster_adopts_trace_bin_grid(self, tmp_path):
+        topology = abilene()
+        generator = TrafficGenerator(
+            topology, TimeBins(n_bins=12, width=600.0), seed=SEED
+        )
+        path = tmp_path / "wide.trace"
+        info = write_trace(path, generator, max_records_per_od=5)
+        config = StreamConfig(
+            warmup_bins=10, refit_every=0, n_components=4,
+            exact_histograms=True,
+        )
+        result = run_cluster(
+            network="abilene", n_bins=12, n_shards=1, config=config,
+            trace_path=path,
+        )
+        # Every trace bin scores exactly once on the adopted 600s grid.
+        assert result.n_records == info.n_records
+        assert result.report.n_bins_scored + result.report.n_bins_warmup == 12
+
+    def test_cluster_rejects_mismatched_trace(self, small_trace):
+        path, _, _ = small_trace
+        with pytest.raises(ValueError, match="recorded on"):
+            run_cluster(network="geant", n_shards=1, trace_path=path,
+                        n_bins=N_BINS)
+        with pytest.raises(ValueError, match="covers"):
+            run_cluster(network="abilene", n_shards=1, trace_path=path,
+                        n_bins=N_BINS + 1)
+
+
+class TestZeroCopyReplay:
+    def test_chunks_share_memory_with_mapping(self, small_trace):
+        path, _, _ = small_trace
+        with TraceReader(path) as reader:
+            for chunk in reader.iter_chunks(chunk_records=4096):
+                for name, _ in COLUMN_SPEC:
+                    assert np.shares_memory(
+                        getattr(chunk, name), reader.column(name)
+                    ), name
+
+    def test_iter_record_chunks_forwards_views(self, small_trace):
+        """Re-chunking a view-backed stream must not force column copies."""
+        path, _, _ = small_trace
+        with TraceReader(path) as reader:
+            src_col = reader.column("src_ip")
+            # Chunk sizes that exercise the forward-as-is path and the
+            # slice-carving path; neither may copy columns.
+            for chunk_records in (reader.n_records, 1000):
+                chunks = list(
+                    iter_record_chunks(
+                        reader.iter_chunks(chunk_records=8192), chunk_records
+                    )
+                )
+                assert sum(len(c) for c in chunks) == reader.n_records
+                shared = [
+                    np.shares_memory(c.src_ip, src_col) for c in chunks
+                ]
+                # Every chunk that lies inside one source batch is a
+                # view; only stitches across batch boundaries may copy.
+                assert np.mean(shared) > 0.5
+                assert all(
+                    len(c) <= chunk_records for c in chunks
+                )
+
+    def test_select_slice_is_view(self):
+        batch = _random_batch(100, np.random.default_rng(0))
+        view = batch.select(slice(10, 60))
+        assert len(view) == 50
+        assert np.shares_memory(view.src_ip, batch.src_ip)
+
+    def test_concat_single_batch_is_identity(self):
+        batch = _random_batch(10, np.random.default_rng(0))
+        assert FlowRecordBatch.concat([batch]) is batch
+
+    def test_trace_record_stream_from_path(self, small_trace):
+        path, info, batches = small_trace
+        total = sum(len(c) for c in trace_record_stream(path))
+        assert total == info.n_records
+        first_bin = FlowRecordBatch.concat(
+            list(trace_record_stream(path, bins=[0]))
+        )
+        _columns_equal(first_bin, batches[0])
+
+
+class TestTraceCli:
+    def test_write_info_replay(self, tmp_path, capsys):
+        out_path = tmp_path / "cli.trace"
+        code = main([
+            "trace", "write", "--bins", "12", "--max-records", "10",
+            "--seed", "3", "--output", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and "records/s" in out and out_path.exists()
+
+        assert main(["trace", "info", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records : " in out and "Abilene" in out
+
+        code = main([
+            "trace", "replay", str(out_path), "--warmup-bins", "8",
+            "--exact", "--refit-every", "0", "--components", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and "scored bins" in out
+
+    def test_stream_and_cluster_accept_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "cli.trace"
+        main(["trace", "write", "--bins", "10", "--max-records", "10",
+              "--seed", "3", "--output", str(out_path)])
+        capsys.readouterr()
+        code = main([
+            "stream", "--trace", str(out_path), "--warmup-bins", "8",
+            "--live-bins", "2", "--exact", "--refit-every", "0",
+            "--components", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and f"trace {out_path}" in out
+
+        code = main([
+            "cluster", "--trace", str(out_path), "--shards", "2",
+            "--warmup-bins", "8", "--live-bins", "2", "--exact",
+            "--refit-every", "0", "--components", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and "shared trace" in out
+
+    def test_invalid_trace_input_exits_2(self, tmp_path):
+        missing = str(tmp_path / "missing.trace")
+        assert main(["trace", "info", missing]) == 2
+        assert main(["trace", "replay", missing]) == 2
+        assert main(["stream", "--trace", missing, "--warmup-bins", "8",
+                     "--live-bins", "1"]) == 2
+
+    def test_stream_rejects_network_mismatch(self, tmp_path, capsys):
+        path = tmp_path / "geant.trace"
+        main(["trace", "write", "--network", "geant", "--bins", "9",
+              "--max-records", "5", "--output", str(path)])
+        capsys.readouterr()
+        code = main(["stream", "--trace", str(path), "--warmup-bins", "8",
+                     "--live-bins", "1"])  # default --network abilene
+        assert code == 2
+        assert "recorded on 'Geant'" in capsys.readouterr().err

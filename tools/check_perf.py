@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Throughput regression gate for the streaming benchmark.
+"""Throughput regression gates for the performance benchmarks.
 
-Compares a freshly generated ``benchmarks/results/streaming.json``
-against the committed baseline (``git show HEAD:...`` by default) and
-fails — exit code 1 — when exact-mode ingest regresses by more than
-the allowed fraction (default 20%).  Run it after ``bench_streaming``:
+Two gates, each comparing a freshly generated
+``benchmarks/results/*.json`` against the committed baseline
+(``git show HEAD:...`` by default) and failing — exit code 1 — on a
+drop larger than the allowed fraction (default 20%):
+
+* **streaming** — exact-mode engine ingest (``streaming.json``);
+* **trace replay** — warm mmap replay ingest of the columnar trace
+  store (``trace.json``).  Skipped with a note when no fresh
+  ``trace.json`` exists (so streaming-only runs keep working).
+
+Run after the benchmarks::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace.py
     python tools/check_perf.py
 
-Slow or heavily-shared runners can skip the gate by exporting
+Slow or heavily-shared runners can skip the gates by exporting
 ``REPRO_SKIP_PERF_GATE=1`` (the check prints what it *would* have
 compared and exits 0).  Baselines in the old single-run scalar format
 and the current median/min/max spread format are both accepted.
@@ -25,8 +33,11 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-FRESH_DEFAULT = REPO_ROOT / "benchmarks" / "results" / "streaming.json"
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+FRESH_DEFAULT = RESULTS_DIR / "streaming.json"
+TRACE_FRESH_DEFAULT = RESULTS_DIR / "trace.json"
 BASELINE_GIT_PATH = "benchmarks/results/streaming.json"
+TRACE_BASELINE_GIT_PATH = "benchmarks/results/trace.json"
 SKIP_ENV = "REPRO_SKIP_PERF_GATE"
 
 
@@ -41,10 +52,10 @@ def _rate(entry) -> float:
     return float(entry)
 
 
-def _load_baseline(spec: str) -> dict:
+def _load_baseline(spec: str, git_path: str = BASELINE_GIT_PATH) -> dict:
     if spec == "git:HEAD":
         payload = subprocess.run(
-            ["git", "show", f"HEAD:{BASELINE_GIT_PATH}"],
+            ["git", "show", f"HEAD:{git_path}"],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
@@ -52,6 +63,18 @@ def _load_baseline(spec: str) -> dict:
         ).stdout
         return json.loads(payload)
     return json.loads(Path(spec).read_text())
+
+
+def _gate(name: str, fresh_rate: float, base_rate: float, max_regression: float) -> bool:
+    floor = (1.0 - max_regression) * base_rate
+    ok = fresh_rate >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    print(
+        f"perf gate [{verdict}]: {name} {fresh_rate:,.0f} records/s "
+        f"vs baseline {base_rate:,.0f} (floor {floor:,.0f}, "
+        f"-{max_regression:.0%} allowed)"
+    )
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,7 +93,17 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression",
         type=float,
         default=0.20,
-        help="allowed fractional drop in exact-mode records/sec (default 0.20)",
+        help="allowed fractional drop in records/sec (default 0.20)",
+    )
+    parser.add_argument(
+        "--trace-fresh",
+        default=str(TRACE_FRESH_DEFAULT),
+        help="freshly generated trace.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--trace-baseline",
+        default="git:HEAD",
+        help="committed trace baseline: 'git:HEAD' (default) or a file path",
     )
     args = parser.parse_args(argv)
 
@@ -90,16 +123,33 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
 
-    fresh_rate = _rate(fresh["records_per_sec"]["streaming_exact"])
-    base_rate = _rate(baseline["records_per_sec"]["streaming_exact"])
-    floor = (1.0 - args.max_regression) * base_rate
-    verdict = "OK" if fresh_rate >= floor else "REGRESSION"
-    print(
-        f"perf gate [{verdict}]: streaming exact {fresh_rate:,.0f} records/s "
-        f"vs baseline {base_rate:,.0f} (floor {floor:,.0f}, "
-        f"-{args.max_regression:.0%} allowed)"
+    ok = _gate(
+        "streaming exact",
+        _rate(fresh["records_per_sec"]["streaming_exact"]),
+        _rate(baseline["records_per_sec"]["streaming_exact"]),
+        args.max_regression,
     )
-    return 0 if fresh_rate >= floor else 1
+
+    trace_fresh_path = Path(args.trace_fresh)
+    if not trace_fresh_path.exists():
+        print("perf gate: no fresh trace.json; trace replay gate skipped "
+              "(run benchmarks/bench_trace.py to enable it)")
+    else:
+        trace_fresh = json.loads(trace_fresh_path.read_text())
+        try:
+            trace_base = _load_baseline(args.trace_baseline, TRACE_BASELINE_GIT_PATH)
+        except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+            print("perf gate: no committed trace baseline yet; trace replay "
+                  "gate records fresh numbers only")
+            trace_base = None
+        if trace_base is not None:
+            ok &= _gate(
+                "trace replay (warm mmap)",
+                _rate(trace_fresh["records_per_sec"]["replay_mmap_warm"]),
+                _rate(trace_base["records_per_sec"]["replay_mmap_warm"]),
+                args.max_regression,
+            )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
