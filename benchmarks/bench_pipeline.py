@@ -1,0 +1,127 @@
+"""Per-scenario end-to-end ingest rate in all three pipeline modes.
+
+Every registered scenario (:mod:`repro.scenarios`) is recorded to a
+columnar trace once, then replayed through the unified
+:class:`repro.pipeline.DetectionPipeline` in batch, stream, and cluster
+modes — the same records, the same detector bank, three deployments.
+The JSON result (``results/pipeline.json``) keys records/sec by
+scenario and mode, and ``tools/check_perf.py`` gates the stream-mode
+rate of ``baseline-diurnal`` against the committed baseline.
+
+Detections are asserted identical across modes per scenario — the same
+parity contract ``tests/test_pipeline.py`` pins, re-checked here on the
+benchmark-sized workload.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from _util import emit, rate_summary, run_once, write_json_result
+
+from repro.pipeline import DetectionPipeline, ScenarioSource, TraceSource
+from repro.scenarios import scenario_names
+from repro.stream import StreamConfig
+
+N_BINS = 36
+WARMUP_BINS = 24
+MAX_RECORDS_PER_OD = 100
+SEED = 11
+N_SHARDS = 2
+REPEATS = 3
+#: Cluster mode forks worker processes per run; one timed run per
+#: scenario keeps the whole matrix affordable in CI.
+CLUSTER_REPEATS = 1
+
+
+def _config():
+    return StreamConfig(
+        warmup_bins=WARMUP_BINS,
+        n_components=6,
+        refit_every=0,
+        exact_histograms=True,
+    )
+
+
+def _signature(report):
+    return [
+        (d.bin, d.detected_by_entropy, d.detected_by_volume,
+         tuple(f.od for f in d.flows), d.spe_entropy)
+        for d in report.detections
+    ]
+
+
+def _timed_runs(pipeline, path, mode, repeats, **kwargs):
+    runs = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = pipeline.run(TraceSource(path), mode=mode, **kwargs)
+        runs.append((result, time.perf_counter() - start))
+    return runs
+
+
+def _bench_scenario(pipeline, name, root):
+    path = root / f"{name}.trace"
+    source = ScenarioSource(
+        name, n_bins=N_BINS, seed=SEED, max_records_per_od=MAX_RECORDS_PER_OD
+    )
+    info = source.write_trace(path)
+    runs = {
+        "stream": _timed_runs(pipeline, path, "stream", REPEATS),
+        "batch": _timed_runs(pipeline, path, "batch", REPEATS),
+        "cluster": _timed_runs(
+            pipeline, path, "cluster", CLUSTER_REPEATS, n_shards=N_SHARDS
+        ),
+    }
+    reference = _signature(runs["stream"][0][0].report)
+    for mode, mode_runs in runs.items():
+        assert _signature(mode_runs[0][0].report) == reference, (
+            f"{name}: {mode} mode detections diverged from stream mode"
+        )
+    rates = {
+        mode: rate_summary(info.n_records, [t for _, t in mode_runs])
+        for mode, mode_runs in runs.items()
+    }
+    detections = runs["stream"][0][0].report.counts()["total"]
+    return info.n_records, rates, detections
+
+
+def test_pipeline_mode_matrix_throughput(benchmark):
+    pipeline = DetectionPipeline(_config())
+    root = Path(tempfile.mkdtemp(prefix="bench-pipeline-"))
+    names = scenario_names()
+
+    rates_by_scenario = {}
+    workloads = {}
+    lines = [
+        f"Pipeline mode matrix ({N_BINS} bins, warm-up {WARMUP_BINS}, "
+        f"{N_SHARDS}-shard cluster, exact histograms)"
+    ]
+    # The first scenario's work runs under the pytest-benchmark timer;
+    # the rest are timed by the shared helper only.
+    first = run_once(benchmark, _bench_scenario, pipeline, names[0], root)
+    for name in names:
+        n_records, rates, detections = (
+            first if name == names[0] else _bench_scenario(pipeline, name, root)
+        )
+        rates_by_scenario[name] = rates
+        workloads[name] = {"n_records": n_records, "detections": detections}
+        lines.append(
+            f"  {name:<18} {n_records:>7} records, {detections} detections: "
+            + ", ".join(
+                f"{mode} {rates[mode]['median']:,.0f} rec/s"
+                for mode in ("stream", "batch", "cluster")
+            )
+        )
+    emit("pipeline", "\n".join(lines))
+    write_json_result(
+        "pipeline",
+        {
+            "n_bins": N_BINS,
+            "warmup_bins": WARMUP_BINS,
+            "max_records_per_od": MAX_RECORDS_PER_OD,
+            "n_shards": N_SHARDS,
+            "records_per_sec": rates_by_scenario,
+            "workloads": workloads,
+        },
+    )

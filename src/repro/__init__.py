@@ -55,6 +55,14 @@ from repro.datasets import abilene_dataset, geant_dataset, make_labeled_dataset
 from repro.flows import FEATURES, TimeBins, TrafficCube
 from repro.io import TraceReader, TraceWriter, trace_info, write_trace
 from repro.net import Topology, abilene, geant
+from repro.pipeline import (
+    DetectionPipeline,
+    PipelineResult,
+    ScenarioSource,
+    SyntheticSource,
+    TraceSource,
+)
+from repro.scenarios import Scenario, get_scenario, scenario_names
 from repro.stream import StreamConfig, StreamingDetectionEngine, StreamingReport
 from repro.traffic import GeneratorConfig, TrafficGenerator
 
@@ -77,6 +85,14 @@ __all__ = [
     "Topology",
     "abilene",
     "geant",
+    "DetectionPipeline",
+    "PipelineResult",
+    "Scenario",
+    "ScenarioSource",
+    "SyntheticSource",
+    "TraceSource",
+    "get_scenario",
+    "scenario_names",
     "StreamConfig",
     "StreamingDetectionEngine",
     "StreamingReport",

@@ -16,6 +16,11 @@ paper) actually runs:
   OD-flow slice into mergeable per-bin summaries, a central
   coordinator merges them and runs the same streaming diagnosis; with
   ``--trace`` every worker memory-maps the same recorded trace;
+* ``run``      — run a registered end-to-end scenario
+  (``repro.scenarios``) through the composable detection pipeline in
+  any deployment mode (``--mode batch|stream|cluster``), inline or
+  from a recorded trace;
+* ``scenarios`` — inspect the scenario registry (``list``);
 * ``trace``    — record and replay columnar flow-record traces:
   ``write`` materialises a synthetic trace into a single binary file,
   ``info`` prints its header, ``replay`` streams it zero-copy through
@@ -77,8 +82,62 @@ _EXPERIMENTS = {
 }
 
 
+def _parent(*adders) -> argparse.ArgumentParser:
+    """A help-less parser composed of shared argument groups."""
+    parser = argparse.ArgumentParser(add_help=False)
+    for add in adders:
+        add(parser)
+    return parser
+
+
+def _add_network(parser) -> None:
+    parser.add_argument("--network", choices=("abilene", "geant"),
+                        default="abilene")
+
+
+def _add_generation(parser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-records", type=int, default=400,
+                        help="records materialised per (OD flow, bin)")
+
+
+def _add_warmup(parser) -> None:
+    parser.add_argument("--warmup-bins", type=int, default=48,
+                        help="bins accumulated from the stream before fitting")
+
+
+def _add_window(parser) -> None:
+    parser.add_argument("--live-bins", type=int, default=24,
+                        help="bins scored after warm-up")
+
+
+def _add_engine(parser) -> None:
+    parser.add_argument("--chunk-records", type=int, default=8192,
+                        help="ingestion chunk size (memory bound)")
+    parser.add_argument("--sketch-width", type=int, default=2048)
+    parser.add_argument("--exact", action="store_true",
+                        help="exact histograms instead of Count-Min sketches")
+    parser.add_argument("--refit-every", type=int, default=12,
+                        help="clean bins between model refits (0 freezes)")
+    parser.add_argument("--alpha", type=float, default=0.999)
+    parser.add_argument("--components", type=int, default=10)
+    parser.add_argument("--json", help="export the diagnosis-report JSON here")
+
+
+def _add_cluster_knobs(parser) -> None:
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes (each owns an OD-flow slice)")
+    parser.add_argument("--queue-depth", type=int, default=16,
+                        help="in-flight summaries bound (back-pressure)")
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The CLI argument parser (exposed for testing).
+
+    The network/bin-grid/seed/sketch flags shared by the record-level
+    commands (``stream``, ``cluster``, ``trace``, ``run``) are defined
+    once in parent parsers rather than copied per subcommand.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Mining Anomalies Using Traffic Feature Distributions'",
@@ -88,16 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="synthesise a traffic cube")
-    gen.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    net_parent = _parent(_add_network)
+    engine_parent = _parent(_add_engine)
+    stream_parent = _parent(_add_network, _add_generation, _add_warmup,
+                            _add_window, _add_engine)
+
+    gen = sub.add_parser("generate", help="synthesise a traffic cube",
+                         parents=[net_parent])
     gen.add_argument("--weeks", type=float, default=1.0)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--clean", action="store_true", help="no anomaly schedule")
     gen.add_argument("--output", required=True, help="output .npz path")
 
-    det = sub.add_parser("detect", help="diagnose a cube")
+    det = sub.add_parser("detect", help="diagnose a cube", parents=[net_parent])
     det.add_argument("--cube", help=".npz cube (omit to generate a labeled one)")
-    det.add_argument("--network", choices=("abilene", "geant"), default="abilene")
     det.add_argument("--weeks", type=float, default=1.0)
     det.add_argument("--seed", type=int, default=0)
     det.add_argument("--alpha", type=float, default=0.999)
@@ -120,55 +183,49 @@ def build_parser() -> argparse.ArgumentParser:
     inj.add_argument("--seed", type=int, default=7)
     inj.add_argument("--alpha", type=float, default=0.999)
 
-    stream = sub.add_parser("stream", help="run the streaming engine on a synthetic trace")
-    stream.add_argument("--network", choices=("abilene", "geant"), default="abilene")
+    stream = sub.add_parser(
+        "stream", help="run the streaming engine on a synthetic trace",
+        parents=[stream_parent],
+    )
     stream.add_argument("--trace", help="replay a recorded trace file instead of "
                         "generating records inline")
-    stream.add_argument("--warmup-bins", type=int, default=48,
-                        help="bins accumulated from the stream before fitting")
-    stream.add_argument("--live-bins", type=int, default=24,
-                        help="bins scored after warm-up")
-    stream.add_argument("--seed", type=int, default=0)
-    stream.add_argument("--max-records", type=int, default=400,
-                        help="records materialised per (OD flow, bin)")
-    stream.add_argument("--chunk-records", type=int, default=8192,
-                        help="ingestion chunk size (memory bound)")
-    stream.add_argument("--sketch-width", type=int, default=2048)
-    stream.add_argument("--exact", action="store_true",
-                        help="exact histograms instead of Count-Min sketches")
-    stream.add_argument("--refit-every", type=int, default=12,
-                        help="clean bins between model refits (0 freezes)")
-    stream.add_argument("--alpha", type=float, default=0.999)
-    stream.add_argument("--components", type=int, default=10)
-    stream.add_argument("--json", help="export the diagnosis-report JSON here")
 
     cluster = sub.add_parser(
-        "cluster", help="run the sharded multi-process engine on a synthetic trace"
+        "cluster", help="run the sharded multi-process engine on a synthetic trace",
+        parents=[stream_parent],
     )
-    cluster.add_argument("--network", choices=("abilene", "geant"), default="abilene")
     cluster.add_argument("--trace", help="shared trace file all workers memory-map "
                          "(instead of per-worker record generation)")
-    cluster.add_argument("--shards", type=int, default=2,
-                         help="worker processes (each owns an OD-flow slice)")
-    cluster.add_argument("--warmup-bins", type=int, default=48,
-                         help="bins accumulated from the stream before fitting")
-    cluster.add_argument("--live-bins", type=int, default=24,
-                         help="bins scored after warm-up")
-    cluster.add_argument("--seed", type=int, default=0)
-    cluster.add_argument("--max-records", type=int, default=400,
-                         help="records materialised per (OD flow, bin)")
-    cluster.add_argument("--chunk-records", type=int, default=8192,
-                         help="ingestion chunk size per shard (memory bound)")
-    cluster.add_argument("--queue-depth", type=int, default=16,
-                         help="in-flight summaries bound (back-pressure)")
-    cluster.add_argument("--sketch-width", type=int, default=2048)
-    cluster.add_argument("--exact", action="store_true",
-                         help="exact histograms instead of Count-Min sketches")
-    cluster.add_argument("--refit-every", type=int, default=12,
-                         help="clean bins between model refits (0 freezes)")
-    cluster.add_argument("--alpha", type=float, default=0.999)
-    cluster.add_argument("--components", type=int, default=10)
-    cluster.add_argument("--json", help="export the diagnosis-report JSON here")
+    _add_cluster_knobs(cluster)
+
+    run = sub.add_parser(
+        "run", help="run a registered scenario in any deployment mode",
+        parents=[engine_parent],
+    )
+    run.add_argument("scenario", help="registered scenario name "
+                     "(see `repro scenarios list`)")
+    run.add_argument("--mode", choices=("batch", "stream", "cluster"),
+                     default="stream", help="deployment mode (default: stream)")
+    run.add_argument("--trace", help="replay the scenario from this recorded "
+                     "trace instead of generating records inline")
+    run.add_argument("--save-trace", help="record the scenario's stream to this "
+                     "trace file and run from it")
+    run.add_argument("--network", choices=("abilene", "geant"), default=None,
+                     help="override the scenario's network")
+    run.add_argument("--bins", type=int, default=None,
+                     help="override the scenario's total bin count")
+    run.add_argument("--warmup-bins", type=int, default=None,
+                     help="override the scenario's warm-up split")
+    run.add_argument("--max-records", type=int, default=None,
+                     help="override the scenario's per-(OD, bin) record cap")
+    run.add_argument("--seed", type=int, default=0)
+    _add_cluster_knobs(run)
+
+    scen = sub.add_parser("scenarios", help="inspect the scenario registry")
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+    scen_list = scen_sub.add_parser("list", help="list registered scenarios")
+    scen_list.add_argument("--names", action="store_true",
+                           help="print bare names only (for scripting)")
 
     trace = sub.add_parser(
         "trace", help="record and replay columnar flow-record traces"
@@ -176,13 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
 
     tw = trace_sub.add_parser(
-        "write", help="materialise a synthetic trace into a columnar file"
+        "write", help="materialise a synthetic trace into a columnar file",
+        parents=[_parent(_add_network, _add_generation)],
     )
-    tw.add_argument("--network", choices=("abilene", "geant"), default="abilene")
     tw.add_argument("--bins", type=int, default=72, help="bins to materialise")
-    tw.add_argument("--seed", type=int, default=0)
-    tw.add_argument("--max-records", type=int, default=400,
-                    help="records materialised per (OD flow, bin)")
     tw.add_argument("--bin-group", type=int, default=64,
                     help="bins materialised per generation pass (memory bound)")
     tw.add_argument("--output", required=True, help="output trace path")
@@ -191,21 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     ti.add_argument("path")
 
     tr = trace_sub.add_parser(
-        "replay", help="replay a trace zero-copy through the streaming engine"
+        "replay", help="replay a trace zero-copy through the streaming engine",
+        parents=[_parent(_add_warmup, _add_engine)],
     )
     tr.add_argument("path")
-    tr.add_argument("--warmup-bins", type=int, default=48,
-                    help="bins accumulated from the stream before fitting")
-    tr.add_argument("--chunk-records", type=int, default=8192,
-                    help="replay chunk size (memory bound)")
-    tr.add_argument("--sketch-width", type=int, default=2048)
-    tr.add_argument("--exact", action="store_true",
-                    help="exact histograms instead of Count-Min sketches")
-    tr.add_argument("--refit-every", type=int, default=12,
-                    help="clean bins between model refits (0 freezes)")
-    tr.add_argument("--alpha", type=float, default=0.999)
-    tr.add_argument("--components", type=int, default=10)
-    tr.add_argument("--json", help="export the diagnosis-report JSON here")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS) + ["ablations"])
@@ -449,6 +492,113 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.pipeline import DetectionPipeline, ScenarioSource, TraceSource
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(args.scenario)
+    if args.trace and args.save_trace:
+        raise ValueError("--trace and --save-trace are mutually exclusive")
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+
+    labels_by_bin = None
+    if args.trace:
+        source = TraceSource(args.trace, network=args.network, n_bins=args.bins)
+        recorded = source.info.meta.get("scenario")
+        if recorded is not None and recorded != scenario.name:
+            raise ValueError(
+                f"trace {args.trace} records scenario {recorded!r}, "
+                f"not {scenario.name!r}"
+            )
+        if recorded is not None and "seed" in source.info.meta:
+            # The header carries everything the schedule is a function
+            # of, so replayed reports keep their ground-truth labels.
+            events = scenario.events_for(
+                source.topology,
+                n_bins=source.info.n_bins,
+                seed=int(source.info.meta["seed"]),
+            )
+            labels_by_bin = {e.bin: e.label for e in events}
+    else:
+        source = ScenarioSource(
+            scenario,
+            network=args.network,
+            n_bins=args.bins,
+            seed=args.seed,
+            max_records_per_od=args.max_records,
+        )
+        labels_by_bin = source.labels_by_bin()
+        if args.save_trace:
+            info = source.write_trace(args.save_trace)
+            size_mb = info.path.stat().st_size / 1e6
+            print(f"recorded {info.n_records} records ({size_mb:.1f} MB) "
+                  f"to {info.path}")
+            source = TraceSource(args.save_trace)
+
+    n_bins = source.spec.n_bins
+    warmup = args.warmup_bins
+    if warmup is None:
+        # Same proportional rule the schedule builder applies, so the
+        # scenario's events always land in the scored window.
+        warmup = scenario.scaled_warmup(n_bins)
+    warmup = max(1, min(warmup, n_bins - 1))
+    args.warmup_bins = warmup  # _stream_config reads it
+    config = _stream_config(args)
+
+    topo = source.topology
+    mode_desc = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    print(
+        f"scenario {scenario.name} [{args.mode}] on {topo.name}: "
+        f"{source.spec.n_bins} bins x {topo.n_od_flows} OD flows, "
+        f"{mode_desc}, warm-up {warmup} bins, "
+        f"source: {source.provenance['source']}"
+    )
+    result = DetectionPipeline(config).run(
+        source,
+        mode=args.mode,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        on_detection=lambda verdict: _print_verdict(topo, verdict),
+        meta={"scenario": scenario.name},
+    )
+    report = result.report
+    print(
+        f"processed {result.n_records} records -> {report.n_bins_scored} "
+        f"scored bins in {result.elapsed:.2f}s "
+        f"({result.records_per_sec:,.0f} records/s)"
+    )
+    if result.shard_records:
+        balance = ", ".join(
+            f"shard {s}: {n}" for s, n in sorted(result.shard_records.items())
+        )
+        print(f"shard load: {balance}")
+    _print_detection_counts(report)
+    if args.json:
+        from repro.io import write_report_json
+
+        diagnosis = report.to_diagnosis_report(labels_by_bin=labels_by_bin)
+        print(f"wrote {write_report_json(diagnosis, args.json)}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import SCENARIOS, scenario_names
+
+    if args.names:
+        for name in scenario_names():
+            print(name)
+        return 0
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        scenario = SCENARIOS[name]
+        print(
+            f"{name:<{width}}  {scenario.network}, {scenario.n_bins} bins "
+            f"(warm-up {scenario.warmup_bins}) — {scenario.description}"
+        )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import time
 
@@ -561,6 +711,8 @@ def main(argv: list[str] | None = None) -> int:
         "inject": _cmd_inject,
         "stream": _cmd_stream,
         "cluster": _cmd_cluster,
+        "run": _cmd_run,
+        "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }

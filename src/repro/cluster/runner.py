@@ -1,31 +1,37 @@
-"""Multi-process cluster driver for the synthetic workload.
+"""Multi-process cluster driver: the pipeline's ``cluster`` mode.
 
-Ties the pieces together into the ``repro cluster`` command: N worker
-processes each run a :class:`repro.cluster.shard.ShardMonitor` over
-their OD-flow slice of a deterministic trace, ship wire-format
-summaries through a bounded queue (back-pressure: a worker sleeping on a
-full queue stops producing records), and the parent's
+Ties the pieces together behind ``repro cluster`` and
+``DetectionPipeline.run(mode="cluster")``: N worker processes each run
+a :class:`repro.cluster.shard.ShardMonitor` over their OD-flow slice of
+a record source, ship wire-format summaries through a bounded queue
+(back-pressure: a worker sleeping on a full queue stops producing
+records), and the parent's
 :class:`repro.cluster.coordinator.ClusterCoordinator` merges and scores
 them with a :class:`repro.stream.engine.StreamingDetectionEngine`.
 
-Workers source their records one of two ways:
+Workers source their records through the pipeline's
+:class:`repro.pipeline.sources.RecordSource` adapters — each worker
+rebuilds the source from its picklable :class:`SourceSpec` and consumes
+only its shard's slice:
 
-* **shared trace file** (``trace_path``): every worker memory-maps the
-  *same* columnar trace (:mod:`repro.io.trace`) and keeps only its
-  OD-flow slice of each chunk — one producer pass at write time, zero
-  regeneration per worker;
-* **inline synthesis** (default): each worker materialises its OD
-  slice from a :class:`repro.traffic.generator.TrafficGenerator`.
+* **trace** sources: every worker memory-maps the *same* columnar
+  trace (:mod:`repro.io.trace`) and keeps only its OD-flow slice of
+  each chunk — one producer pass at write time, zero regeneration;
+* **synthetic** sources: each worker materialises its OD slice from a
+  :class:`repro.traffic.generator.TrafficGenerator`;
+* **scenario** sources: synthetic background plus the scenario's
+  anomaly events — each worker regenerates exactly the events whose
+  target OD it owns.
 
-Determinism: the synthetic record stream seeds every (OD flow, bin)
-draw from ``SeedSequence([generator_seed, stream_seed, od, bin])``
-(see :func:`repro.stream.chunks.synthetic_record_stream`), and a trace
-written by :func:`repro.io.trace.write_trace` replays those exact
-records — so whichever source a worker uses, it sees bit-identical
-records for its ODs no matter how many shards exist, and the cluster's
-detections are bin-for-bin identical to a single process consuming the
-whole trace (exact-histogram mode; sketch mode matches within
-estimator tolerance).
+Determinism: every record draw is seeded per (OD flow, bin) —
+``SeedSequence([generator_seed, stream_seed, od, bin])`` for background
+records (see :func:`repro.stream.chunks.synthetic_record_stream`) and a
+per-event equivalent for scenario anomalies — and a trace written by
+:func:`repro.io.trace.write_trace` replays those exact records.  So
+whichever source a worker uses, it sees bit-identical records for its
+ODs no matter how many shards exist, and the cluster's detections are
+bin-for-bin identical to a single process consuming the whole source
+(exact-histogram mode; sketch mode matches within estimator tolerance).
 """
 
 from __future__ import annotations
@@ -39,107 +45,45 @@ from typing import Callable
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.shard import ShardMonitor
-from repro.flows.binning import BIN_SECONDS
-from repro.stream.chunks import iter_record_chunks, synthetic_record_stream
+from repro.pipeline.bank import DEFAULT_DETECTORS
+from repro.pipeline.sources import (
+    RecordSource,
+    SourceSpec,
+    SyntheticSource,
+    TraceSource,
+    build_source,
+    shard_ods,
+)
 from repro.stream.engine import StreamConfig, StreamDetection, StreamingDetectionEngine, StreamingReport
 
-__all__ = ["ClusterResult", "run_cluster", "shard_ods"]
-
-_NETWORKS = ("abilene", "geant")
-
-
-def shard_ods(n_od_flows: int, n_shards: int, shard_id: int) -> list[int]:
-    """Round-robin OD-flow partition: shard ``s`` owns ``od % n_shards == s``.
-
-    Round-robin (rather than contiguous ranges) balances load because
-    the gravity model makes OD-flow rates heavy-tailed in OD index.
-    """
-    if not 0 <= shard_id < n_shards:
-        raise ValueError("shard_id must be in [0, n_shards)")
-    return list(range(shard_id, n_od_flows, n_shards))
+# ``shard_ods`` is defined once, next to the sources whose
+# ``shard_batches`` implement it; re-exported here for compatibility.
+__all__ = ["ClusterResult", "run_cluster", "run_cluster_source", "shard_ods"]
 
 
 @dataclass(frozen=True)
 class _WorkerSpec:
     """Everything a worker needs to rebuild its shard (picklable)."""
 
-    network: str
-    n_bins: int
-    seed: int
+    source: SourceSpec
     shard_id: int
     n_shards: int
-    max_records_per_od: int
     chunk_records: int
     exact: bool
     sketch_width: int
     sketch_depth: int
     sketch_seed: int
-    trace_path: str | None = None
-    bin_width: float = BIN_SECONDS
-    bin_start: float = 0.0
-
-
-def _build_topology(network: str):
-    from repro.net.topology import abilene, geant
-
-    if network not in _NETWORKS:
-        raise ValueError(f"unknown network {network!r}; expected one of {_NETWORKS}")
-    return abilene() if network == "abilene" else geant()
-
-
-def _worker_source(spec: _WorkerSpec, topology, monitor):
-    """This shard's ``(chunk, ods)`` pairs: mmap'd trace slice or synthesis.
-
-    ``ods`` is the per-record OD attribution when the worker already
-    resolved it (the shared-trace slice path, where attribution doubles
-    as the shard filter — resolved once, fed to the monitor so the
-    stage does not repeat the longest-prefix pass), else None.
-    """
-    if spec.trace_path is not None:
-        from repro.io.trace import TraceReader
-
-        reader = TraceReader(spec.trace_path)
-        router = monitor.router  # share the stage's LPM tables
-        for chunk in reader.iter_chunks(
-            chunk_records=spec.chunk_records, bins=range(spec.n_bins)
-        ):
-            ods = router.resolve_ods_mixed(chunk.ingress_pop, chunk.dst_ip)
-            if spec.n_shards > 1:
-                mask = ods % spec.n_shards == spec.shard_id
-                if not mask.any():
-                    continue
-                chunk = chunk.select(mask)
-                ods = ods[mask]
-            yield chunk, ods
-        return
-    from repro.flows.binning import TimeBins
-    from repro.traffic.generator import TrafficGenerator
-
-    generator = TrafficGenerator(
-        topology,
-        TimeBins(n_bins=spec.n_bins, width=spec.bin_width, start=spec.bin_start),
-        seed=spec.seed,
-    )
-    ods = shard_ods(topology.n_od_flows, spec.n_shards, spec.shard_id)
-    source = synthetic_record_stream(
-        generator,
-        range(spec.n_bins),
-        ods=ods,
-        max_records_per_od=spec.max_records_per_od,
-        seed=spec.seed,
-    )
-    for chunk in iter_record_chunks(source, spec.chunk_records):
-        yield chunk, None
 
 
 def _shard_worker(spec: _WorkerSpec, queue) -> None:
     """Worker entry point: produce records, reduce, ship, close."""
     try:
-        topology = _build_topology(spec.network)
+        source = build_source(spec.source)
+        topology = source.topology
         monitor = ShardMonitor(
             topology,
-            bin_width=spec.bin_width,
-            start=spec.bin_start,
+            bin_width=spec.source.bin_width,
+            start=spec.source.bin_start,
             width=spec.sketch_width,
             depth=spec.sketch_depth,
             sketch_seed=spec.sketch_seed,
@@ -147,7 +91,12 @@ def _shard_worker(spec: _WorkerSpec, queue) -> None:
             shard_id=spec.shard_id,
         )
         n_records = 0
-        for chunk, ods in _worker_source(spec, topology, monitor):
+        for chunk, ods in source.shard_batches(
+            spec.shard_id,
+            spec.n_shards,
+            router=monitor.router,
+            chunk_records=spec.chunk_records,
+        ):
             n_records += len(chunk)
             for summary in monitor.ingest(chunk, ods=ods):
                 queue.put(("summary", spec.shard_id, summary.to_bytes()))
@@ -185,32 +134,25 @@ class ClusterResult:
         return self.n_records / self.elapsed if self.elapsed > 0 else float("inf")
 
 
-def run_cluster(
-    network: str = "abilene",
-    n_bins: int = 72,
-    seed: int = 0,
+def run_cluster_source(
+    source: RecordSource | SourceSpec,
     n_shards: int = 2,
     config: StreamConfig | None = None,
-    max_records_per_od: int = 400,
     queue_depth: int = 16,
     start_method: str | None = None,
     on_detection: Callable[[StreamDetection], None] | None = None,
-    trace_path: str | Path | None = None,
+    detectors: tuple[str, ...] = DEFAULT_DETECTORS,
+    meta: dict | None = None,
 ) -> ClusterResult:
-    """Run the sharded pipeline end-to-end on a synthetic trace.
+    """Run the sharded pipeline over any :class:`RecordSource`.
 
     Args:
-        network: ``"abilene"`` or ``"geant"``.
-        n_bins: Bins to stream (warm-up included).  With a trace this
-            must not exceed the bins the trace covers; pass
-            ``trace_info(path).n_bins`` to stream all of it.
-        seed: Master seed (generator and record draws; unused when
-            replaying a trace).
+        source: The record source (or its picklable spec).  Its bin
+            grid and topology configure the engine and every shard
+            monitor.
         n_shards: Worker process count (>= 1).
         config: Engine knobs; ``exact_histograms``, sketch geometry and
             ``chunk_records`` also shape the shard monitors.
-        max_records_per_od: Records materialised per (OD flow, bin)
-            (inline synthesis only).
         queue_depth: Bound on in-flight summaries per queue — the
             back-pressure knob; workers block rather than outrun the
             coordinator.
@@ -218,54 +160,44 @@ def run_cluster(
             default, e.g. ``fork`` on Linux).
         on_detection: Callback invoked with each verdict as bins close
             (live output; the verdicts also land in the report).
-        trace_path: Optional recorded trace (:mod:`repro.io.trace`).
-            When given, every worker memory-maps this one file and
-            ingests only its OD slice of each chunk — no per-worker
-            record regeneration.  The trace's network must match
-            ``network``.
+        detectors: Detector-bank selection (see
+            :mod:`repro.pipeline.bank`).
+        meta: Extra provenance merged into the report's metadata, on
+            top of the source's own and ``mode``/``n_shards``.
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
-    if n_bins < 1:
-        raise ValueError("n_bins must be >= 1")
     if queue_depth < 1:
         raise ValueError("queue_depth must be >= 1")
-    topology = _build_topology(network)
-    bin_width, bin_start = BIN_SECONDS, 0.0
-    if trace_path is not None:
-        from repro.io.trace import trace_info
-
-        info = trace_info(trace_path)
-        info.ensure_compatible(network=topology.name, min_bins=n_bins)
-        # The engine and every shard monitor adopt the trace's grid —
-        # re-binning a trace onto a different grid would silently
-        # change every per-bin feature.
-        bin_width, bin_start = info.bins.width, info.bins.start
-        trace_path = str(trace_path)
+    if isinstance(source, SourceSpec):
+        source = build_source(source)
+    if source.spec.n_bins < 1:
+        raise ValueError("source must cover at least one bin")
     config = config or StreamConfig()
     engine = StreamingDetectionEngine(
-        topology, config, bin_width=bin_width, start=bin_start
+        source.topology,
+        config,
+        bin_width=source.spec.bin_width,
+        start=source.spec.bin_start,
+        detectors=detectors,
     )
+    engine.meta.update(source.provenance)
+    engine.meta.update({"mode": "cluster", "n_shards": int(n_shards)})
+    engine.meta.update(meta or {})
     coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
     specs = [
         _WorkerSpec(
-            network=network,
-            n_bins=n_bins,
-            seed=seed,
+            source=source.spec,
             shard_id=shard_id,
             n_shards=n_shards,
-            max_records_per_od=max_records_per_od,
             chunk_records=config.chunk_records,
             exact=config.exact_histograms,
             sketch_width=config.sketch_width,
             sketch_depth=config.sketch_depth,
             sketch_seed=config.sketch_seed,
-            trace_path=trace_path,
-            bin_width=bin_width,
-            bin_start=bin_start,
         )
         for shard_id in range(n_shards)
     ]
@@ -328,4 +260,71 @@ def run_cluster(
         n_records=report.n_records,
         elapsed=elapsed,
         shard_records=shard_records,
+    )
+
+
+def run_cluster(
+    network: str = "abilene",
+    n_bins: int = 72,
+    seed: int = 0,
+    n_shards: int = 2,
+    config: StreamConfig | None = None,
+    max_records_per_od: int = 400,
+    queue_depth: int = 16,
+    start_method: str | None = None,
+    on_detection: Callable[[StreamDetection], None] | None = None,
+    trace_path: str | Path | None = None,
+) -> ClusterResult:
+    """Run the sharded pipeline on a synthetic or recorded trace.
+
+    Thin wrapper over :func:`run_cluster_source` preserving the
+    original argument surface: it builds a
+    :class:`repro.pipeline.sources.TraceSource` when ``trace_path`` is
+    given (the engine and every shard monitor adopt the trace's
+    recorded grid — re-binning a trace onto a different grid would
+    silently change every per-bin feature) and a
+    :class:`SyntheticSource` otherwise.
+
+    Args:
+        network: ``"abilene"`` or ``"geant"``.
+        n_bins: Bins to stream (warm-up included).  With a trace this
+            must not exceed the bins the trace covers; pass
+            ``trace_info(path).n_bins`` to stream all of it.
+        seed: Master seed (generator and record draws; unused when
+            replaying a trace).
+        n_shards: Worker process count (>= 1).
+        config: Engine knobs; ``exact_histograms``, sketch geometry and
+            ``chunk_records`` also shape the shard monitors.
+        max_records_per_od: Records materialised per (OD flow, bin)
+            (inline synthesis only).
+        queue_depth: Bound on in-flight summaries per queue.
+        start_method: ``multiprocessing`` start method.
+        on_detection: Callback invoked with each verdict as bins close.
+        trace_path: Optional recorded trace (:mod:`repro.io.trace`)
+            every worker memory-maps.  Its network must match
+            ``network``.
+
+    Returns:
+        A :class:`ClusterResult` with the merged report and throughput.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if trace_path is not None:
+        source: RecordSource = TraceSource(
+            trace_path, network=network, n_bins=n_bins
+        )
+    else:
+        source = SyntheticSource(
+            network=network,
+            n_bins=n_bins,
+            seed=seed,
+            max_records_per_od=max_records_per_od,
+        )
+    return run_cluster_source(
+        source,
+        n_shards=n_shards,
+        config=config,
+        queue_depth=queue_depth,
+        start_method=start_method,
+        on_detection=on_detection,
     )

@@ -71,6 +71,10 @@ class DiagnosisReport:
         clustering: Clustering of entropy-detected anomalies (None when
             classification was skipped or there were too few points).
         clusters: Per-cluster summaries, largest first.
+        meta: Free-form provenance (scenario name, source kind, trace
+            path, deployment mode) carried from whichever pipeline mode
+            produced the report, so exports from different modes stay
+            distinguishable and comparable.
     """
 
     anomalies: list[DiagnosedAnomaly]
@@ -78,6 +82,7 @@ class DiagnosisReport:
     entropy_bins: np.ndarray
     clustering: ClusteringResult | None = None
     clusters: list[ClusterSummary] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def both_bins(self) -> np.ndarray:

@@ -181,6 +181,32 @@ class ODFlowAggregator:
             # not): the cube is small, the stash is the whole trace.
             self._parts.clear()
 
+    def aggregate_stream(self, chunks, bins: TimeBins) -> TrafficCube:
+        """Aggregate any iterable of record batches into one cube.
+
+        The whole-trace reduction behind the batch pipeline mode:
+        chunks are attributed and stashed one at a time, then reduced
+        in a single kernel pass over the composite ``bin * p + od``
+        keys — memory is bounded by the stashed key/value columns, not
+        by per-(bin, OD) state.
+
+        Args:
+            chunks: Iterable of :class:`FlowRecordBatch` (any chunking;
+                order does not matter for the exact reduction).
+            bins: The bin grid to aggregate on.
+
+        Returns:
+            The same cube :meth:`aggregate` builds from the equivalent
+            concatenated batch.
+        """
+        self._parts.clear()
+        try:
+            for chunk in chunks:
+                self._accumulate(chunk, bins)
+            return self._finalize(bins)
+        finally:
+            self._parts.clear()
+
     def aggregate_trace(self, path, bins: TimeBins | None = None) -> TrafficCube:
         """Aggregate a recorded columnar trace file into a cube.
 
@@ -209,13 +235,7 @@ class ODFlowAggregator:
             # trace_info parses the header without mapping any columns.
             grid = bins or trace_info(path).bins
             source = trace_record_stream(path)
-        self._parts.clear()
-        try:
-            for chunk in source:
-                self._accumulate(chunk, grid)
-            return self._finalize(grid)
-        finally:
-            self._parts.clear()
+        return self.aggregate_stream(source, grid)
 
     def _accumulate(self, batch: FlowRecordBatch, bins: TimeBins) -> None:
         """Attribute one batch to (bin, OD) groups and stash the columns."""

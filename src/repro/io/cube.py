@@ -108,7 +108,10 @@ def report_summary(report: DiagnosisReport) -> dict:
                 "n_unknown": summary.n_unknown,
             }
         )
-    return {"counts": report.counts(), "clusters": clusters}
+    summary = {"counts": report.counts(), "clusters": clusters}
+    if report.meta:
+        summary["meta"] = dict(report.meta)
+    return summary
 
 
 def write_report_json(report: DiagnosisReport, path: str | Path) -> Path:

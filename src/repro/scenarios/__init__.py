@@ -1,0 +1,36 @@
+"""Registered end-to-end workloads runnable on any pipeline mode.
+
+``repro.scenarios`` holds the scenario registry
+(:mod:`repro.scenarios.catalog`) — named, reproducible workloads
+composing the anomaly zoo over synthetic backbone traffic — and the
+record-level anomaly materialiser (:mod:`repro.scenarios.records`) that
+lets every deployment mode see a scenario through the same flow
+records.  Run one with::
+
+    repro run ddos-burst --mode stream        # or batch / cluster
+
+or through the API via
+:class:`repro.pipeline.sources.ScenarioSource`.
+"""
+
+from repro.scenarios.catalog import (
+    SCENARIOS,
+    Scenario,
+    ScenarioEvent,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_record_batches,
+)
+from repro.scenarios.records import anomaly_record_batch
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioEvent",
+    "anomaly_record_batch",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "scenario_record_batches",
+]

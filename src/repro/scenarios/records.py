@@ -1,0 +1,167 @@
+"""Materialise anomaly traces as flow records.
+
+The anomaly zoo (:mod:`repro.anomalies.builders`) describes each
+anomaly abstractly: per traffic feature, how its packets distribute
+over *background ranks* (values the target OD flow already carries)
+and *novel values* (spoofed sources, scanned ports, fresh targets).
+The batch injector superimposes those counts onto histograms; the
+record-level pipeline needs the same anomaly as a
+:class:`repro.flows.records.FlowRecordBatch` so that every deployment
+mode — batch aggregation, streaming ingest, sharded cluster workers,
+trace replay — sees it through the identical records path.
+
+:func:`anomaly_record_batch` performs that mapping:
+
+* background ranks resolve through
+  :meth:`repro.traffic.generator.TrafficGenerator.feature_values`, so a
+  DOS victim really is the OD flow's existing heavy host/port;
+* novel destination addresses stay inside the destination PoP's prefix
+  (anything else would change the record's longest-prefix egress
+  resolution and land the anomaly in a different OD flow);
+* novel source addresses spread across distinct /21 blocks so the
+  collector's 11-bit anonymisation keeps them distinct;
+* novel ports come from a high ephemeral range the synthetic
+  background never reaches.
+
+All draws come from one ``SeedSequence([generator seed, salt, od, bin])``
+stream, independent of any sharding — a cluster worker that owns the
+target OD regenerates the exact records the unsharded stream contains,
+which is what keeps detections identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyTrace
+from repro.flows.features import DST_IP, FEATURES, SRC_IP
+from repro.flows.records import FlowRecordBatch
+from repro.net.addressing import ANONYMIZATION_BITS, EPHEMERAL_PORT_START, make_ip
+
+__all__ = ["anomaly_record_batch"]
+
+#: Base of the novel-source address range (198.18.0.0, the RFC 2544
+#: benchmarking block — disjoint from every synthetic PoP prefix).
+_NOVEL_SRC_BASE = make_ip(198, 18, 0, 0)
+
+#: First port of the novel range; synthetic background ports are
+#: well-known heads plus ephemeral ranks starting at 1024, far below.
+_NOVEL_PORT_START = EPHEMERAL_PORT_START + 20_000
+_NOVEL_PORT_SPAN = 40_000
+
+#: Record-draw stream tag (disjoint from the generator's own tags).
+_TAG_ANOMALY = 0xA70
+
+
+def _novel_values(generator, od: int, feature: int, n: int) -> np.ndarray:
+    """Concrete feature values for ``n`` novel ranks of one feature."""
+    origin, destination = generator.topology.od_pair(od)
+    ranks = np.arange(n, dtype=np.int64)
+    if feature == SRC_IP:
+        # One /21 apart each: collector anonymisation masks the low 11
+        # bits, and colliding blocks would silently re-concentrate a
+        # deliberately dispersed source population.
+        return _NOVEL_SRC_BASE + (ranks << ANONYMIZATION_BITS)
+    if feature == DST_IP:
+        # Must stay inside the destination prefix: egress resolution
+        # (hence OD attribution) follows the destination address.
+        size = destination.prefix.size
+        offset = size // 2
+        return destination.prefix.network | (offset + ranks % (size - offset))
+    return _NOVEL_PORT_START + ranks % _NOVEL_PORT_SPAN
+
+
+def _feature_pool(generator, od: int, feature: int, contribution):
+    """``(values, weights)`` of one feature's anomaly distribution."""
+    values_parts: list[np.ndarray] = []
+    weights_parts: list[np.ndarray] = []
+    background = [
+        (int(rank), int(count))
+        for rank, count in contribution.on_background.items()
+        if count > 0
+    ]
+    if background:
+        ranks = np.array([r for r, _ in background], dtype=np.int64)
+        table = generator.feature_values(od, feature, int(ranks.max()) + 1)
+        values_parts.append(table[ranks])
+        weights_parts.append(np.array([c for _, c in background], dtype=np.int64))
+    novel_idx = np.flatnonzero(contribution.novel)
+    if novel_idx.size:
+        novel = _novel_values(generator, od, feature, len(contribution.novel))
+        values_parts.append(novel[novel_idx])
+        weights_parts.append(contribution.novel[novel_idx])
+    if not values_parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(values_parts), np.concatenate(weights_parts)
+
+
+def anomaly_record_batch(
+    generator,
+    od: int,
+    b: int,
+    trace: AnomalyTrace,
+    salt: int = 0,
+    max_records: int = 4000,
+) -> FlowRecordBatch:
+    """Materialise one anomaly as sampled flow records in one (OD, bin).
+
+    Feature values are drawn per record from the trace's per-feature
+    distributions (independent across features, like the background
+    materialiser); the anomaly's full packet/byte volume is spread over
+    the records.  Deterministic for a given
+    ``(generator seed, salt, od, bin)`` — independent of which process
+    or shard materialises it.
+
+    Args:
+        generator: The background's
+            :class:`repro.traffic.generator.TrafficGenerator` (defines
+            topology, bin grid, and background feature values).
+        od: Target OD flow.
+        b: Target bin index.
+        trace: The anomaly (from :mod:`repro.anomalies.builders`).
+        salt: Extra seed mixed into the draw (the scenario's seed).
+        max_records: Cap on materialised records.
+
+    Returns:
+        An unsorted :class:`FlowRecordBatch` with timestamps inside bin
+        ``b``; callers merge it into the bin's background batch and
+        time-sort.
+    """
+    if trace.packets < 1:
+        raise ValueError("anomaly trace carries no packets")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [generator.config.seed, int(salt), int(od), int(b), _TAG_ANOMALY]
+        )
+    )
+    total = int(trace.packets)
+    richest = max(c.n_values for c in trace.contributions)
+    n = int(min(max_records, max(1, total // 3, richest)))
+    pkts = np.maximum(1, rng.multinomial(total, np.full(n, 1.0 / n))).astype(np.int64)
+
+    columns: dict[str, np.ndarray] = {}
+    for k, name in enumerate(FEATURES):
+        values, weights = _feature_pool(generator, od, k, trace.contributions[k])
+        total_w = int(weights.sum())
+        if total_w <= 0:
+            columns[name] = np.zeros(n, dtype=np.int64)
+            continue
+        cdf = (weights / total_w).cumsum()
+        cdf /= cdf[-1]
+        picks = cdf.searchsorted(rng.random(n), side="right").astype(np.int64)
+        columns[name] = values[picks]
+
+    origin, _ = generator.topology.od_pair(od)
+    scale = trace.bytes / total if total else 0.0
+    start = generator.bins.bin_start(b)
+    return FlowRecordBatch(
+        src_ip=columns["src_ip"],
+        dst_ip=columns["dst_ip"],
+        src_port=columns["src_port"],
+        dst_port=columns["dst_port"],
+        protocol=np.full(n, 6, dtype=np.int64),
+        packets=pkts,
+        bytes=np.round(pkts * scale).astype(np.int64),
+        timestamp=start + rng.uniform(0, generator.bins.width, size=n),
+        ingress_pop=np.full(n, origin.index, dtype=np.int64),
+    )

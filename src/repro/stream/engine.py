@@ -1,19 +1,18 @@
 """The streaming detection engine: records in, diagnosed anomalies out.
 
 This is the online pipeline the paper names as the key open problem in
-Section 8, assembled from the repo's existing pieces:
+Section 8.  Since the ``repro.pipeline`` refactor the engine is a thin
+composition of two shared pieces — it owns no scoring logic of its own:
 
-1. **ingestion** — time-ordered flow-record chunks
-   (:mod:`repro.stream.chunks`) in bounded-memory batches,
-2. **features** — per-bin ``(p, 4)`` entropy matrices estimated from
-   Count-Min sketches (:mod:`repro.stream.window`),
-3. **detection** — volume scoring against frozen per-metric subspace
-   models plus :class:`repro.core.online.OnlineMultiwayDetector`
-   (frozen multiway subspace, O(p*m) per bin, periodic refit from a
-   sliding buffer), and
-4. **classification** — :class:`repro.core.online.OnlineClassifier`
-   nearest-centroid assignment in entropy space, spawning clusters for
-   new anomaly types.
+1. **features** — :class:`repro.stream.window.StreamFeatureStage`, the
+   bin reducer rolling time-ordered record chunks into per-bin
+   ``(p, 4)`` entropy matrices (Count-Min sketches or exact
+   kernel-reduced histograms);
+2. **detection + classification** —
+   :class:`repro.pipeline.bank.DetectorBank`, the pluggable scoring
+   core (multiway entropy subspace, volume baseline, online
+   classifier) shared with the batch driver and the cluster
+   coordinator.
 
 The engine either warms up from a historical
 :class:`repro.flows.odflows.TrafficCube` or accumulates its first
@@ -22,31 +21,25 @@ closed bin produces a :class:`StreamDetection` verdict, and
 :meth:`StreamingReport.to_diagnosis_report` renders the accumulated run
 in the same :class:`repro.core.detector.DiagnosisReport` shape the
 batch pipeline emits — so tables, exports and tests work on either.
+(`StreamDetection`/`StreamingReport` live in
+:mod:`repro.pipeline.report` and are re-exported here.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.core.classify import summarize_clusters
-from repro.core.clustering import ClusteringResult
-from repro.core.detector import DiagnosedAnomaly, DiagnosisReport
-from repro.core.identification import IdentifiedFlow
-from repro.core.online import (
-    OnlineClassifier,
-    OnlineMultiwayDetector,
-    OnlineVolumeDetector,
-)
 from repro.core.subspace import DEFAULT_ALPHA, DEFAULT_N_COMPONENTS
 from repro.flows.binning import BIN_SECONDS
-from repro.flows.features import N_FEATURES
 from repro.flows.odflows import TrafficCube
 from repro.flows.records import FlowRecordBatch
 from repro.net.topology import Topology
+from repro.pipeline.bank import DEFAULT_DETECTORS, DetectorBank
+from repro.pipeline.report import StreamDetection, StreamingReport
 from repro.stream.chunks import DEFAULT_CHUNK_RECORDS, iter_record_chunks
 from repro.stream.window import BinSummary, StreamFeatureStage
 
@@ -109,143 +102,6 @@ class StreamConfig:
     chunk_records: int = DEFAULT_CHUNK_RECORDS
 
 
-@dataclass
-class StreamDetection:
-    """Verdict for one scored (post-warm-up) bin.
-
-    Attributes:
-        bin: Global bin index.
-        spe_entropy: Multiway SPE of the bin (0 for clean bins; the
-            online detector only reports SPE on detections).
-        threshold: Q threshold the SPE was compared against.
-        detected_by_entropy: Multiway SPE exceeded the threshold.
-        detected_by_volume: Packet or byte row exceeded its threshold.
-        flows: Identified OD flows (entropy detections only).
-        entropy_vector: ``(4,)`` displacement of the primary flow.
-        unit_vector: Unit-normalised version (zero when unidentified).
-        cluster: Online-classifier cluster (-1 when not classified).
-        n_records: Records aggregated into the bin.
-    """
-
-    bin: int
-    spe_entropy: float
-    threshold: float
-    detected_by_entropy: bool
-    detected_by_volume: bool
-    flows: list[IdentifiedFlow] = field(default_factory=list)
-    entropy_vector: np.ndarray = field(default_factory=lambda: np.zeros(N_FEATURES))
-    unit_vector: np.ndarray = field(default_factory=lambda: np.zeros(N_FEATURES))
-    cluster: int = -1
-    n_records: int = 0
-
-    @property
-    def detected(self) -> bool:
-        """Flagged by either method."""
-        return self.detected_by_entropy or self.detected_by_volume
-
-    @property
-    def primary_od(self) -> int | None:
-        """OD flow of the strongest identified component."""
-        return self.flows[0].od if self.flows else None
-
-
-@dataclass
-class StreamingReport:
-    """Accumulated outcome of a streaming run."""
-
-    detections: list[StreamDetection]
-    n_bins_scored: int
-    n_bins_warmup: int
-    n_records: int
-    late_records: int
-    classifier: OnlineClassifier | None = None
-
-    @property
-    def entropy_bins(self) -> np.ndarray:
-        """Bins flagged by the multiway entropy method."""
-        return np.array(
-            sorted(d.bin for d in self.detections if d.detected_by_entropy),
-            dtype=np.int64,
-        )
-
-    @property
-    def volume_bins(self) -> np.ndarray:
-        """Bins flagged by the volume baseline."""
-        return np.array(
-            sorted(d.bin for d in self.detections if d.detected_by_volume),
-            dtype=np.int64,
-        )
-
-    def counts(self) -> dict[str, int]:
-        """Table-2 style counts over the scored stream."""
-        volume = set(self.volume_bins.tolist())
-        entropy = set(self.entropy_bins.tolist())
-        return {
-            "volume_only": len(volume - entropy),
-            "entropy_only": len(entropy - volume),
-            "both": len(volume & entropy),
-            "total": len(volume | entropy),
-        }
-
-    def to_diagnosis_report(
-        self, labels_by_bin: dict[int, str] | None = None
-    ) -> DiagnosisReport:
-        """Render the run as a batch-compatible :class:`DiagnosisReport`.
-
-        Entropy detections come first (with vectors and online cluster
-        assignments), then volume-only bins as vectorless events —
-        mirroring :meth:`repro.core.detector.AnomalyDiagnosis.diagnose`.
-        """
-        volume_set = set(self.volume_bins.tolist())
-        anomalies: list[DiagnosedAnomaly] = []
-        clustered: list[DiagnosedAnomaly] = []
-        for det in self.detections:
-            if not det.detected:
-                continue
-            label = labels_by_bin.get(det.bin, "unknown") if labels_by_bin else ""
-            anom = DiagnosedAnomaly(
-                bin=det.bin,
-                od=det.primary_od if det.primary_od is not None else -1,
-                detected_by_volume=det.bin in volume_set,
-                detected_by_entropy=det.detected_by_entropy,
-                entropy_vector=det.entropy_vector,
-                unit_vector=det.unit_vector,
-                spe_entropy=det.spe_entropy if det.detected_by_entropy else 0.0,
-                cluster=det.cluster,
-                label=label,
-            )
-            anomalies.append(anom)
-            if det.detected_by_entropy and det.cluster >= 0:
-                clustered.append(anom)
-        report = DiagnosisReport(
-            anomalies=anomalies,
-            volume_bins=self.volume_bins,
-            entropy_bins=self.entropy_bins,
-        )
-        if self.classifier is not None and len(clustered) >= 1 and self.classifier.n_clusters:
-            points = np.vstack([a.unit_vector for a in clustered])
-            labels = np.array([a.cluster for a in clustered], dtype=np.int64)
-            centers = self.classifier.centroids
-            inertia = float(((points - centers[labels]) ** 2).sum())
-            clustering = ClusteringResult(
-                labels=labels,
-                centers=centers,
-                k=self.classifier.n_clusters,
-                inertia=inertia,
-                algorithm="online-nearest-centroid",
-            )
-            member_labels = (
-                [a.label or "unknown" for a in clustered]
-                if labels_by_bin is not None
-                else None
-            )
-            report.clustering = clustering
-            report.clusters = summarize_clusters(
-                points, clustering, labels=member_labels
-            )
-        return report
-
-
 class StreamingDetectionEngine:
     """Chunked, sketch-backed online anomaly diagnosis.
 
@@ -269,6 +125,7 @@ class StreamingDetectionEngine:
         config: StreamConfig | None = None,
         bin_width: float = BIN_SECONDS,
         start: float = 0.0,
+        detectors: tuple[str, ...] = DEFAULT_DETECTORS,
     ) -> None:
         self.topology = topology
         self.config = config or StreamConfig()
@@ -282,42 +139,31 @@ class StreamingDetectionEngine:
             sketch_seed=cfg.sketch_seed,
             exact=cfg.exact_histograms,
         )
-        self.detector = OnlineMultiwayDetector(
-            window=cfg.window or cfg.warmup_bins,
-            refit_every=cfg.refit_every,
-            n_components=cfg.n_components,
-            alpha=cfg.alpha,
-            normalization=cfg.normalization,
-            identify=cfg.identify,
-            drift_reset_after=cfg.drift_reset_after,
-            calibration_margin=cfg.calibration_margin,
-        )
-        self.classifier = OnlineClassifier(spawn_distance=cfg.spawn_distance)
-        self._volume: dict[str, OnlineVolumeDetector] = {
-            name: OnlineVolumeDetector(
-                window=cfg.window or cfg.warmup_bins,
-                refit_every=cfg.refit_every,
-                n_components=cfg.n_components,
-                alpha=cfg.alpha,
-                drift_reset_after=cfg.drift_reset_after,
-                transform=cfg.volume_transform,
-                detrend=cfg.volume_detrend,
-                calibration_margin=cfg.volume_calibration_margin,
-            )
-            for name in ("packets", "bytes")
-        }
-        self._warmup_summaries: list[BinSummary] = []
-        self._detections: list[StreamDetection] = []
+        self.bank = DetectorBank(cfg, detectors=detectors)
+        #: Free-form provenance copied onto the final report (scenario
+        #: name, source kind, trace path, mode ...).
+        self.meta: dict = {}
         self._n_records = 0
-        self._n_scored = 0
-        self._n_warmup = 0
+
+    # -- back-compat accessors into the bank -----------------------------
+
+    @property
+    def detector(self):
+        """The online multiway entropy detector (when configured)."""
+        adapter = self.bank.detectors.get("entropy")
+        return adapter.detector if adapter is not None else None
+
+    @property
+    def classifier(self):
+        """The bank's online classifier."""
+        return self.bank.classifier
 
     # -- warm-up ---------------------------------------------------------
 
     @property
     def is_warm(self) -> bool:
         """Whether the detection models are fitted."""
-        return self.detector.is_warm
+        return self.bank.is_warm
 
     def warm_up(self, cube: TrafficCube) -> "StreamingDetectionEngine":
         """Fit the detection models on a historical cube.
@@ -327,29 +173,12 @@ class StreamingDetectionEngine:
         subspace model is fitted per metric, matching the batch
         pipeline's volume baseline.
         """
-        self.detector.warm_up(cube.entropy)
-        self._fit_volume(cube.packets, cube.bytes)
-        self._n_warmup = cube.n_bins
+        self.bank.warm_up_cube(cube)
         return self
 
     def seed_classifier(self, centroids: np.ndarray) -> None:
         """Seed the online classifier with offline cluster centroids."""
-        self.classifier = OnlineClassifier(
-            centroids, spawn_distance=self.config.spawn_distance
-        )
-
-    def _fit_volume(self, packets: np.ndarray, bytes_: np.ndarray) -> None:
-        self._volume["packets"].warm_up(packets)
-        self._volume["bytes"].warm_up(bytes_)
-
-    def _warm_up_from_buffer(self) -> None:
-        tensor = np.stack([s.entropy for s in self._warmup_summaries])
-        packets = np.vstack([s.packets for s in self._warmup_summaries])
-        bytes_ = np.vstack([s.bytes for s in self._warmup_summaries])
-        self.detector.warm_up(tensor)
-        self._fit_volume(packets, bytes_)
-        self._n_warmup = len(self._warmup_summaries)
-        self._warmup_summaries.clear()
+        self.bank.seed_classifier(centroids)
 
     # -- ingestion -------------------------------------------------------
 
@@ -360,66 +189,31 @@ class StreamingDetectionEngine:
         bin afterwards yields one :class:`StreamDetection`.
         """
         self._n_records += len(batch)
-        verdicts = (self._observe(s) for s in self.stage.ingest(batch))
+        verdicts = (self.bank.observe(s) for s in self.stage.ingest(batch))
         return [v for v in verdicts if v is not None]
 
     def ingest_histograms(self, bin_index: int, hists_by_od) -> list[StreamDetection]:
         """Feed one bin of router-exported histograms (see window stage)."""
         verdicts = (
-            self._observe(s)
+            self.bank.observe(s)
             for s in self.stage.ingest_histograms(bin_index, hists_by_od)
         )
         return [v for v in verdicts if v is not None]
 
     def observe_summary(self, summary: BinSummary) -> StreamDetection | None:
-        """Score one already-built bin summary (testing/advanced entry)."""
-        return self._observe(summary)
-
-    def _observe(self, summary: BinSummary) -> StreamDetection | None:
-        if not self.is_warm:
-            self._warmup_summaries.append(summary)
-            if len(self._warmup_summaries) >= self.config.warmup_bins:
-                self._warm_up_from_buffer()
-            return None
-        self._n_scored += 1
-        packet_hit, _ = self._volume["packets"].observe(summary.packets)
-        byte_hit, _ = self._volume["bytes"].observe(summary.bytes)
-        volume_hit = packet_hit or byte_hit
-        threshold = self.detector.threshold
-        hit = self.detector.observe(summary.entropy)
-        spe = hit.spe if hit is not None else 0.0
-        detection = StreamDetection(
-            bin=summary.bin,
-            spe_entropy=float(spe),
-            threshold=float(threshold),
-            detected_by_entropy=hit is not None,
-            detected_by_volume=volume_hit,
-            flows=hit.flows if hit is not None else [],
-            n_records=summary.n_records,
-        )
-        if hit is not None and hit.flows:
-            vec = hit.flows[0].displacement
-            norm = float(np.linalg.norm(vec))
-            detection.entropy_vector = vec
-            if norm > 0:
-                detection.unit_vector = vec / norm
-                detection.cluster = self.classifier.assign(detection.unit_vector)
-        self._detections.append(detection)
-        return detection
+        """Score one already-built bin summary (coordinator/batch entry)."""
+        return self.bank.observe(summary)
 
     # -- driving ---------------------------------------------------------
 
     def finish(self) -> StreamingReport:
         """Flush the open bin and return the accumulated report."""
         for summary in self.stage.flush():
-            self._observe(summary)
-        return StreamingReport(
-            detections=list(self._detections),
-            n_bins_scored=self._n_scored,
-            n_bins_warmup=self._n_warmup,
+            self.bank.observe(summary)
+        return self.bank.finish(
             n_records=self._n_records,
             late_records=self.stage.late_records,
-            classifier=self.classifier,
+            meta=self.meta,
         )
 
     def _chunks(
@@ -443,6 +237,8 @@ class StreamingDetectionEngine:
                 bin_width=self.stage.bin_width,
                 start=self.stage.start,
             )
+            self.meta.setdefault("source", "trace")
+            self.meta.setdefault("trace_path", str(source))
             return trace_record_stream(
                 source, chunk_records=self.config.chunk_records
             )
@@ -469,6 +265,6 @@ class StreamingDetectionEngine:
         for chunk in self._chunks(source):
             yield from self.ingest(chunk)
         for summary in self.stage.flush():
-            verdict = self._observe(summary)
+            verdict = self.bank.observe(summary)
             if verdict is not None:
                 yield verdict

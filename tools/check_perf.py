@@ -9,12 +9,16 @@ drop larger than the allowed fraction (default 20%):
 * **streaming** — exact-mode engine ingest (``streaming.json``);
 * **trace replay** — warm mmap replay ingest of the columnar trace
   store (``trace.json``).  Skipped with a note when no fresh
-  ``trace.json`` exists (so streaming-only runs keep working).
+  ``trace.json`` exists (so streaming-only runs keep working);
+* **pipeline** — stream-mode end-to-end scenario ingest of the unified
+  ``DetectionPipeline`` (``pipeline.json``, the ``baseline-diurnal``
+  row).  Skipped with a note when no fresh ``pipeline.json`` exists.
 
 Run after the benchmarks::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py
     PYTHONPATH=src python -m pytest benchmarks/bench_trace.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py
     python tools/check_perf.py
 
 Slow or heavily-shared runners can skip the gates by exporting
@@ -36,8 +40,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 FRESH_DEFAULT = RESULTS_DIR / "streaming.json"
 TRACE_FRESH_DEFAULT = RESULTS_DIR / "trace.json"
+PIPELINE_FRESH_DEFAULT = RESULTS_DIR / "pipeline.json"
 BASELINE_GIT_PATH = "benchmarks/results/streaming.json"
 TRACE_BASELINE_GIT_PATH = "benchmarks/results/trace.json"
+PIPELINE_BASELINE_GIT_PATH = "benchmarks/results/pipeline.json"
+#: The pipeline gate's reference row: the clean-background scenario's
+#: stream-mode ingest (the least detection-count-sensitive number).
+PIPELINE_GATE_SCENARIO = "baseline-diurnal"
 SKIP_ENV = "REPRO_SKIP_PERF_GATE"
 
 
@@ -105,6 +114,16 @@ def main(argv: list[str] | None = None) -> int:
         default="git:HEAD",
         help="committed trace baseline: 'git:HEAD' (default) or a file path",
     )
+    parser.add_argument(
+        "--pipeline-fresh",
+        default=str(PIPELINE_FRESH_DEFAULT),
+        help="freshly generated pipeline.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--pipeline-baseline",
+        default="git:HEAD",
+        help="committed pipeline baseline: 'git:HEAD' (default) or a file path",
+    )
     args = parser.parse_args(argv)
 
     if os.environ.get(SKIP_ENV):
@@ -147,6 +166,29 @@ def main(argv: list[str] | None = None) -> int:
                 "trace replay (warm mmap)",
                 _rate(trace_fresh["records_per_sec"]["replay_mmap_warm"]),
                 _rate(trace_base["records_per_sec"]["replay_mmap_warm"]),
+                args.max_regression,
+            )
+
+    pipeline_fresh_path = Path(args.pipeline_fresh)
+    if not pipeline_fresh_path.exists():
+        print("perf gate: no fresh pipeline.json; pipeline gate skipped "
+              "(run benchmarks/bench_pipeline.py to enable it)")
+    else:
+        pipeline_fresh = json.loads(pipeline_fresh_path.read_text())
+        try:
+            pipeline_base = _load_baseline(
+                args.pipeline_baseline, PIPELINE_BASELINE_GIT_PATH
+            )
+        except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+            print("perf gate: no committed pipeline baseline yet; pipeline "
+                  "gate records fresh numbers only")
+            pipeline_base = None
+        if pipeline_base is not None:
+            row = PIPELINE_GATE_SCENARIO
+            ok &= _gate(
+                f"pipeline stream mode ({row})",
+                _rate(pipeline_fresh["records_per_sec"][row]["stream"]),
+                _rate(pipeline_base["records_per_sec"][row]["stream"]),
                 args.max_regression,
             )
     return 0 if ok else 1
