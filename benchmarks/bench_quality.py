@@ -1,0 +1,52 @@
+"""The labeled detection-quality grid and its committed baseline.
+
+Runs the full quality surface (:func:`repro.quality.quality_payload`):
+every registered scenario plus a ten-workload fuzzed fleet scored
+per detection channel, and the accuracy grid sweeping
+intensity × sketch width × sampling rate.  The JSON result
+(``results/quality.json``) is a pure function of the seed — no
+timestamps, rates, or machine facts — so the committed baseline diffs
+meaningfully across commits and ``tools/check_quality.py`` can gate
+precision/recall drops the way ``check_perf.py`` gates throughput.
+"""
+
+from _util import emit, run_once, write_json_result
+
+from repro.quality import quality_payload
+from repro.quality.grid import QUALITY_SEED
+
+N_FUZZED = 10
+
+
+def _format_report(payload: dict) -> str:
+    lines = [
+        f"Detection quality (seed {payload['seed']}, "
+        f"{payload['shape']['n_bins']} bins, warm-up "
+        f"{payload['shape']['warmup_bins']}, ±{payload['tolerance_bins']} "
+        f"bin matching)"
+    ]
+    for name, entry in payload["scenarios"].items():
+        ch = entry["channels"]["any"]
+        lines.append(
+            f"  {name:<18} {entry['events']} events: "
+            f"P {ch['precision']:.2f} R {ch['recall']:.2f} "
+            f"F1 {ch['f1']:.2f} "
+            f"(entropy R {entry['channels']['entropy']['recall']:.2f})"
+        )
+    lines.append("  grid (any-channel recall by sampling rate, exact sketch):")
+    for cell in payload["grid"]:
+        if cell["sketch_width"] == 0:
+            lines.append(
+                f"    intensity x{cell['intensity_scale']:<4} "
+                f"1/{cell['sampling_rate']:<4} sampling: "
+                f"R {cell['channels']['any']['recall']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def test_quality_grid(benchmark):
+    payload = run_once(benchmark, quality_payload, QUALITY_SEED, N_FUZZED)
+    assert len(payload["scenarios"]) >= 6 + N_FUZZED
+    assert payload["grid"], "grid sweep produced no cells"
+    emit("quality", _format_report(payload))
+    write_json_result("quality", payload)

@@ -25,6 +25,12 @@ paper) actually runs:
   ``write`` materialises a synthetic trace into a single binary file,
   ``info`` prints its header, ``replay`` streams it zero-copy through
   the detection engine;
+* ``quality``  — the detection-quality harness (``repro.quality``):
+  ``run`` scores every registered scenario plus a fuzzed fleet against
+  ground truth (precision/recall/F1/latency per detection channel,
+  optionally the intensity × sketch × sampling grid), ``fuzz``
+  generates seeded random workloads and cross-checks that every
+  deployment mode produces identical detections on them;
 * ``experiment`` — run one of the paper's experiments by name
   (``fig1``..``fig10``, ``table2``..``table8``, ``ablations``,
   ``anonymization``) and print the paper-style report.
@@ -249,6 +255,41 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[_parent(_add_warmup, _add_engine)],
     )
     tr.add_argument("path")
+
+    quality = sub.add_parser(
+        "quality", help="detection-quality harness: labeled scoring and fuzzing"
+    )
+    quality_sub = quality.add_subparsers(dest="quality_command", required=True)
+
+    qr = quality_sub.add_parser(
+        "run", help="score registered + fuzzed scenarios against ground truth"
+    )
+    qr.add_argument("--seed", type=int, default=7,
+                    help="quality seed (default matches the committed baseline)")
+    qr.add_argument("--fuzz", type=int, default=10,
+                    help="fuzzed workloads scored alongside the registered set")
+    qr.add_argument("--mode", choices=("batch", "stream", "cluster"),
+                    default="stream", help="deployment mode (default: stream)")
+    qr.add_argument("--tolerance", type=int, default=1,
+                    help="bin slack of the detection-to-event matching window")
+    qr.add_argument("--grid", action="store_true",
+                    help="also sweep the intensity x sketch x sampling grid")
+    qr.add_argument("--json", help="export the quality payload JSON here")
+
+    qf = quality_sub.add_parser(
+        "fuzz", help="fuzz seeded workloads and cross-check mode parity"
+    )
+    qf.add_argument("--n", type=int, default=10, help="workloads to fuzz")
+    qf.add_argument("--seed", type=int, default=0)
+    qf.add_argument("--modes", default="batch,stream,cluster",
+                    help="comma-separated deployment modes to cross-check")
+    qf.add_argument("--intensity", type=float, default=1.0,
+                    help="intensity multiplier on every fuzzed event")
+    qf.add_argument("--sampling", type=int, default=1,
+                    help="1-in-N trace thinning applied to fuzzed events")
+    qf.add_argument("--shards", type=int, default=2,
+                    help="cluster-mode worker count")
+    qf.add_argument("--json", help="export per-workload scores + parity here")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS) + ["ablations"])
@@ -676,6 +717,131 @@ def _cmd_trace(args) -> int:
     )
 
 
+def _cmd_quality(args) -> int:
+    import json
+
+    if args.quality_command == "run":
+        from repro.quality import quality_payload
+
+        if args.fuzz < 0:
+            raise ValueError("--fuzz must be non-negative")
+        payload = quality_payload(
+            seed=args.seed,
+            n_fuzzed=args.fuzz,
+            mode=args.mode,
+            tolerance_bins=args.tolerance,
+            with_grid=args.grid,
+        )
+        shape = payload["shape"]
+        print(
+            f"quality [{args.mode}] seed {args.seed}: "
+            f"{len(payload['scenarios'])} scenarios on {shape['n_bins']} bins "
+            f"(warm-up {shape['warmup_bins']}, ±{args.tolerance} bin matching)"
+        )
+        for name, entry in payload["scenarios"].items():
+            ch = entry["channels"]["any"]
+            latency = ch["latency_bins"]
+            print(
+                f"  {name:<18} {entry['events']} events: "
+                f"P {ch['precision']:.2f} R {ch['recall']:.2f} "
+                f"F1 {ch['f1']:.2f} "
+                f"latency {'-' if latency is None else f'{latency:.1f}'} "
+                f"(entropy R {entry['channels']['entropy']['recall']:.2f})"
+            )
+        for cell in payload.get("grid", []):
+            ch = cell["channels"]["any"]
+            print(
+                f"  grid x{cell['intensity_scale']:<4} "
+                f"w={cell['sketch_width']:<5} 1/{cell['sampling_rate']:<4} "
+                f"P {ch['precision']:.2f} R {ch['recall']:.2f}"
+            )
+        if args.json:
+            from pathlib import Path
+
+            path = Path(args.json)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
+        return 0
+
+    # fuzz: cross-check that every mode sees identical detections on
+    # workloads nobody hand-tuned.  Exit 1 on divergence — that is a
+    # broken parity contract, not a usage error.
+    from repro.pipeline import DetectionPipeline
+    from repro.quality import fuzz_sources, quality_config, score_report
+    from repro.quality.score import CHANNELS
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    for mode in modes:
+        if mode not in ("batch", "stream", "cluster"):
+            raise ValueError(f"unknown mode {mode!r} in --modes")
+    if not modes:
+        raise ValueError("--modes must name at least one mode")
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+
+    sources = fuzz_sources(
+        args.n,
+        seed=args.seed,
+        intensity_scale=args.intensity,
+        sampling_rate=args.sampling,
+    )
+    diverged = 0
+    workloads = []
+    for source in sources:
+        signatures = {}
+        scores = None
+        for mode in modes:
+            result = DetectionPipeline(quality_config()).run(
+                source, mode=mode, n_shards=args.shards
+            )
+            signatures[mode] = [
+                (d.bin, round(d.spe_entropy, 9), d.detected_by_entropy,
+                 d.detected_by_volume, d.primary_od)
+                for d in result.report.detections if d.detected
+            ]
+            if scores is None:
+                scores = score_report(source.events, result.report)
+        reference = signatures[modes[0]]
+        parity = all(sig == reference for sig in signatures.values())
+        diverged += 0 if parity else 1
+        ch = scores["any"]
+        verdict = "parity ok" if parity else "MODES DIVERGED"
+        print(
+            f"  {source.scenario.name:<14} {len(source.events)} events, "
+            f"{len(reference)} detections: P {ch.precision:.2f} "
+            f"R {ch.recall:.2f} [{verdict}]"
+        )
+        if not parity:
+            for mode, sig in signatures.items():
+                print(f"    {mode}: {sig}")
+        workloads.append(
+            {
+                "name": source.scenario.name,
+                "events": len(source.events),
+                "parity": parity,
+                "channels": {c: scores[c].to_dict() for c in CHANNELS},
+            }
+        )
+    print(
+        f"fuzzed {len(sources)} workloads across {'/'.join(modes)}: "
+        f"{len(sources) - diverged} parity-clean, {diverged} diverged"
+    )
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        payload = {
+            "seed": args.seed,
+            "modes": list(modes),
+            "intensity_scale": args.intensity,
+            "sampling_rate": args.sampling,
+            "workloads": workloads,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 1 if diverged else 0
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -714,6 +880,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
+        "quality": _cmd_quality,
         "experiment": _cmd_experiment,
     }
     try:

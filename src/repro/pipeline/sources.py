@@ -92,14 +92,18 @@ class SourceSpec:
     workers instead of sources.
 
     Attributes:
-        kind: ``"synthetic"``, ``"trace"``, or ``"scenario"``.
+        kind: ``"synthetic"``, ``"trace"``, ``"scenario"``, or
+            ``"fuzzed"``.
         network: Topology name ("abilene"/"geant").
         n_bins: Bins the source covers (for traces: bins to replay).
         seed: Generator + record-draw seed (unused for traces).
         max_records_per_od: Record cap per (OD flow, bin) (synthesis).
         trace_path: The trace file (``kind="trace"`` only).
-        scenario: Registered scenario name (``kind="scenario"`` only).
+        scenario: Registered scenario name (``kind="scenario"``) or the
+            fuzzed scenario's derived name (``kind="fuzzed"``).
         bin_width / bin_start: The bin grid (traces carry their own).
+        fuzz: The :class:`repro.quality.fuzzer.FuzzSpec` a fuzzed
+            scenario rebuilds from (``kind="fuzzed"`` only).
     """
 
     kind: str
@@ -111,6 +115,7 @@ class SourceSpec:
     scenario: str | None = None
     bin_width: float = BIN_SECONDS
     bin_start: float = 0.0
+    fuzz: object = None
 
 
 class RecordSource:
@@ -428,4 +433,10 @@ def build_source(spec: SourceSpec) -> RecordSource:
             seed=spec.seed,
             max_records_per_od=spec.max_records_per_od,
         )
+    if spec.kind == "fuzzed":
+        if spec.fuzz is None:
+            raise ValueError("fuzzed source spec needs its FuzzSpec")
+        from repro.quality.fuzzer import FuzzedScenarioSource
+
+        return FuzzedScenarioSource(spec.fuzz)
     raise ValueError(f"unknown source kind {spec.kind!r}")

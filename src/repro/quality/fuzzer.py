@@ -1,0 +1,241 @@
+"""Seeded scenario fuzzer: random-but-reproducible anomaly workloads.
+
+The six registered scenarios (:mod:`repro.scenarios.catalog`) pin the
+workloads the docs and benchmarks talk about; the fuzzer generates the
+*rest of the space* — seeded random schedules drawing anomaly type,
+intensity, duration, and OD placement from the Table-1 zoo
+(:mod:`repro.anomalies.builders`), with per-event flow-size mixes
+CDF-sampled from heavy-tailed datacenter profiles
+(:data:`repro.traffic.distributions.FLOW_SIZE_CDFS`) and optional
+1-in-N trace thinning (the paper's sampling evaluation).
+
+Everything reduces to a :class:`FuzzSpec` — a small frozen dataclass of
+primitives — so a fuzzed workload is exactly as portable as a
+registered one: :class:`FuzzedScenarioSource` carries the spec in its
+picklable :class:`repro.pipeline.sources.SourceSpec` (``kind="fuzzed"``)
+and any process (a cluster worker, a trace writer, the quality grid)
+rebuilds the identical schedule and records from it.  Same spec, same
+records, bit for bit — which is what lets the quality gate compare
+fuzzed precision/recall across commits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.anomalies.builders import BUILDERS
+from repro.flows.binning import BIN_SECONDS
+from repro.pipeline.sources import RecordSource, ScenarioSource, SourceSpec
+from repro.scenarios.catalog import Scenario, ScenarioEvent
+
+__all__ = [
+    "FuzzSpec",
+    "FuzzedScenarioSource",
+    "INTENSITY_RANGES",
+    "fuzz_scenario",
+    "fuzz_sources",
+]
+
+#: Per-type intensity windows (packets/second over a 300 s bin), spanning
+#: from "barely above the background" to the paper's Table-4 rates; the
+#: fuzzer draws log-uniformly inside the window and multiplies by the
+#: spec's ``intensity_scale`` (the quality grid's intensity axis).
+INTENSITY_RANGES: dict[str, tuple[float, float]] = {
+    "alpha": (1.5e3, 6.0e3),
+    "dos": (1.0e4, 6.0e4),
+    "ddos": (1.2e4, 3.0e4),
+    "flash_crowd": (3.0e3, 9.0e3),
+    "port_scan": (120.0, 400.0),
+    "network_scan": (140.0, 600.0),
+    "worm": (150.0, 1.5e3),
+    "point_multipoint": (500.0, 1.5e3),
+}
+
+#: Mixed into the fuzzed scenario's salt so fuzz schedules never collide
+#: with registered-scenario schedules at the same user seed.
+_FUZZ_SALT_BASE = 0xF5E0
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Complete, picklable description of one fuzzed workload.
+
+    ``(seed, index)`` is the identity: the same pair always fuzzes the
+    same schedule, records, and therefore detections.  The remaining
+    fields are the quality grid's sweep axes and run-shape knobs.
+
+    Attributes:
+        seed: Fuzzer seed (also the record-draw seed of the source).
+        index: Which workload of the seed's sequence this is.
+        network: Topology name.
+        n_bins: Run length (warm-up included).
+        warmup_bins: Bins accumulated before scoring.
+        max_records_per_od: Background record cap per (OD flow, bin).
+        min_events / max_events: Event-count window (inclusive).
+        intensity_scale: Multiplier on every event's drawn intensity
+            (the grid's intensity axis; schedule structure is invariant
+            to it).
+        sampling_rate: 1-in-N thinning applied to every event's trace
+            (1 = no thinning); events thinned to zero packets stay in
+            the ground truth but materialise no records.
+        flow_profile: :data:`FLOW_SIZE_CDFS` key for the per-event
+            flow-size mix (None keeps the uniform record spread).
+    """
+
+    seed: int = 0
+    index: int = 0
+    network: str = "abilene"
+    n_bins: int = 18
+    warmup_bins: int = 12
+    max_records_per_od: int = 20
+    min_events: int = 1
+    max_events: int = 4
+    intensity_scale: float = 1.0
+    sampling_rate: int = 1
+    flow_profile: str | None = "web-search"
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("fuzz index must be non-negative")
+        if not 1 <= self.min_events <= self.max_events:
+            raise ValueError("need 1 <= min_events <= max_events")
+        if self.intensity_scale <= 0:
+            raise ValueError("intensity_scale must be positive")
+        if self.sampling_rate < 1:
+            raise ValueError("sampling_rate must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """The fuzzed scenario's derived registry-style name."""
+        return f"fuzz-{self.seed}-{self.index:03d}"
+
+
+def _fuzz_events(spec: FuzzSpec, topology, n_bins: int, warmup: int, rng):
+    """One seeded random schedule (the fuzzed scenario's build_events).
+
+    Every random quantity is drawn in a fixed order and *unconditionally*
+    (thinning seeds are drawn even at ``sampling_rate=1``), so sweeping
+    ``intensity_scale`` / ``sampling_rate`` / ``flow_profile`` perturbs
+    magnitudes only — the (bin, OD, label) schedule is invariant, which
+    is what makes the quality grid's axes comparable.
+    """
+    labels = sorted(BUILDERS)
+    live = n_bins - warmup
+    n_events = int(rng.integers(spec.min_events, spec.max_events + 1))
+    n_events = min(n_events, live)
+    bins = np.sort(rng.choice(live, size=n_events, replace=False)) + warmup
+    ods = rng.choice(topology.n_od_flows, size=n_events, replace=False)
+    events = []
+    for b, od in zip(bins, ods):
+        label = labels[int(rng.integers(len(labels)))]
+        lo, hi = INTENSITY_RANGES[label]
+        pps = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+        duration = float(rng.uniform(0.5, 1.0)) * BIN_SECONDS
+        kwargs = {}
+        if label == "port_scan":
+            kwargs["dispersed_src_ports"] = bool(rng.integers(2))
+        elif label == "alpha":
+            kwargs["nat"] = bool(rng.integers(2))
+        thin_seed = int(rng.integers(1 << 31))
+        trace = BUILDERS[label](
+            rng, pps=pps * spec.intensity_scale, duration=duration, **kwargs
+        )
+        if spec.sampling_rate > 1:
+            trace = trace.thin(spec.sampling_rate, seed=thin_seed)
+        if spec.flow_profile is not None:
+            trace.meta["flow_cdf"] = spec.flow_profile
+        events.append(
+            ScenarioEvent(bin=int(b), od=int(od), label=trace.label, trace=trace)
+        )
+    return events
+
+
+def fuzz_scenario(spec: FuzzSpec) -> Scenario:
+    """Build the (unregistered) :class:`Scenario` a spec describes.
+
+    A pure function of the spec: any process holding the same spec
+    rebuilds the identical scenario, schedule included — fuzzed
+    scenarios are deliberately *not* added to the global registry, so
+    fuzzing never pollutes ``repro scenarios list`` or the registered
+    parity matrix.
+    """
+    return Scenario(
+        name=spec.name,
+        description=(
+            f"fuzzed workload {spec.index} of seed {spec.seed} "
+            f"(intensity x{spec.intensity_scale:g}, 1/{spec.sampling_rate} "
+            f"sampling)"
+        ),
+        build_events=lambda topology, n_bins, warmup, rng: _fuzz_events(
+            spec, topology, n_bins, warmup, rng
+        ),
+        network=spec.network,
+        n_bins=spec.n_bins,
+        warmup_bins=spec.warmup_bins,
+        max_records_per_od=spec.max_records_per_od,
+        salt=_FUZZ_SALT_BASE + spec.index,
+    )
+
+
+class FuzzedScenarioSource(ScenarioSource):
+    """A fuzzed workload as a pipeline source (``kind="fuzzed"``).
+
+    Inherits the whole :class:`ScenarioSource` machinery — inline
+    batches, sharded OD-slice streams, trace recording, ground-truth
+    events — while rebuilding its scenario from the :class:`FuzzSpec`
+    carried in the source spec, so cluster workers regenerate exactly
+    the fuzzed events their OD slice owns.
+    """
+
+    def __init__(self, fuzz: FuzzSpec) -> None:
+        self.scenario = fuzz_scenario(fuzz)
+        RecordSource.__init__(
+            self,
+            SourceSpec(
+                kind="fuzzed",
+                network=fuzz.network,
+                n_bins=fuzz.n_bins,
+                seed=fuzz.seed,
+                max_records_per_od=fuzz.max_records_per_od,
+                scenario=self.scenario.name,
+                fuzz=fuzz,
+            ),
+        )
+        self._events = None
+
+    @property
+    def fuzz(self) -> FuzzSpec:
+        """The spec this source was fuzzed from."""
+        return self.spec.fuzz
+
+    @property
+    def events(self):
+        """Ground-truth events on the fuzzed grid (warm-up pinned)."""
+        if self._events is None:
+            self._events = self.scenario.events_for(
+                self.topology,
+                n_bins=self.spec.n_bins,
+                warmup_bins=self.fuzz.warmup_bins,
+                seed=self.spec.seed,
+            )
+        return self._events
+
+
+def fuzz_sources(
+    n: int, seed: int = 0, start_index: int = 0, **overrides
+) -> list[FuzzedScenarioSource]:
+    """``n`` consecutive fuzzed workloads of one seed.
+
+    ``overrides`` set any :class:`FuzzSpec` field except ``seed`` and
+    ``index`` (e.g. ``sampling_rate=10`` for a thinned fleet).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base = FuzzSpec(seed=int(seed), **overrides)
+    return [
+        FuzzedScenarioSource(replace(base, index=start_index + i))
+        for i in range(n)
+    ]

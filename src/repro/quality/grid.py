@@ -1,0 +1,214 @@
+"""The labeled detection-quality grid: who detects what, and when.
+
+Drives registered and fuzzed workloads through the one
+:class:`repro.pipeline.DetectionPipeline` and scores every run against
+its ground-truth schedule (:mod:`repro.quality.score`).  Three layers:
+
+* :func:`run_source` — one workload, one mode, one config → per-channel
+  scores;
+* :func:`quality_payload` — the committed baseline: all registered
+  scenarios plus a fuzzed fleet, each with per-detector
+  precision/recall/F1/latency;
+* :func:`run_grid` — the sweep ``intensity × sketch width × sampling
+  rate`` over a fixed fuzzed workload set, merging scores per cell.
+
+Every number in a payload is a pure function of ``(seed, knobs)`` — no
+timestamps, paths, or wall-clock — so the same seed reproduces the
+grid bit for bit, which is the property ``tools/check_quality.py``
+gates on.
+
+The run shape (18 bins, 12 warm-up, 20 records per OD-bin) is the
+smallest grid on which the detectors reliably fire — the same shape the
+pipeline parity tests pin — so the whole quality surface stays cheap
+enough to run in CI on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.pipeline import DetectionPipeline
+from repro.pipeline.sources import ScenarioSource
+from repro.quality.fuzzer import FuzzSpec, FuzzedScenarioSource, fuzz_sources
+from repro.quality.score import CHANNELS, DetectorScore, score_report
+from repro.scenarios import scenario_names
+from repro.stream.engine import StreamConfig
+
+__all__ = [
+    "GRID_INTENSITY_SCALES",
+    "GRID_SAMPLING_RATES",
+    "GRID_SKETCH_WIDTHS",
+    "QUALITY_MAX_RECORDS",
+    "QUALITY_N_BINS",
+    "QUALITY_SEED",
+    "QUALITY_TOLERANCE_BINS",
+    "QUALITY_WARMUP_BINS",
+    "quality_config",
+    "quality_payload",
+    "run_grid",
+    "run_source",
+]
+
+#: The quality surface's run shape (matches the parity-test grid).
+QUALITY_N_BINS = 18
+QUALITY_WARMUP_BINS = 12
+QUALITY_MAX_RECORDS = 20
+
+#: Default seed and matching window of the committed baseline.
+QUALITY_SEED = 7
+QUALITY_TOLERANCE_BINS = 1
+
+#: Default sweep axes.  Sketch width 0 means exact histograms; the
+#: nonzero widths bracket the regime where sketch collisions start
+#: distorting entropy.  Sampling rates are the paper's 1-in-N thinning.
+GRID_INTENSITY_SCALES = (0.5, 1.0, 2.0)
+GRID_SKETCH_WIDTHS = (0, 512, 2048)
+GRID_SAMPLING_RATES = (1, 10, 100)
+
+
+def quality_config(sketch_width: int = 0) -> StreamConfig:
+    """The harness's pipeline config (``sketch_width=0`` → exact)."""
+    return StreamConfig(
+        warmup_bins=QUALITY_WARMUP_BINS,
+        refit_every=0,
+        n_components=3,
+        exact_histograms=sketch_width == 0,
+        sketch_width=sketch_width or 2048,
+    )
+
+
+def run_source(
+    source,
+    mode: str = "stream",
+    sketch_width: int = 0,
+    tolerance_bins: int = QUALITY_TOLERANCE_BINS,
+    n_shards: int = 2,
+) -> dict[str, DetectorScore]:
+    """Run one workload and score its report against its ground truth.
+
+    ``source`` must carry its own schedule (a :class:`ScenarioSource`
+    or :class:`FuzzedScenarioSource`); the returned mapping covers
+    :data:`repro.quality.score.CHANNELS`.
+    """
+    pipeline = DetectionPipeline(config=quality_config(sketch_width))
+    result = pipeline.run(source, mode=mode, n_shards=n_shards)
+    return score_report(source.events, result.report, tolerance_bins)
+
+
+def _scores_entry(source, scores: dict[str, DetectorScore]) -> dict:
+    return {
+        "events": len(source.events),
+        "channels": {ch: scores[ch].to_dict() for ch in CHANNELS},
+    }
+
+
+def registered_sources(seed: int = QUALITY_SEED) -> list[ScenarioSource]:
+    """Every registered scenario on the quality run shape."""
+    return [
+        ScenarioSource(
+            name,
+            n_bins=QUALITY_N_BINS,
+            seed=seed,
+            max_records_per_od=QUALITY_MAX_RECORDS,
+        )
+        for name in scenario_names()
+    ]
+
+
+def run_grid(
+    seed: int = QUALITY_SEED,
+    intensity_scales=GRID_INTENSITY_SCALES,
+    sketch_widths=GRID_SKETCH_WIDTHS,
+    sampling_rates=GRID_SAMPLING_RATES,
+    workloads_per_cell: int = 2,
+    mode: str = "stream",
+    tolerance_bins: int = QUALITY_TOLERANCE_BINS,
+) -> list[dict]:
+    """The labeled accuracy grid: intensity × sketch width × sampling.
+
+    Each cell reruns the same ``workloads_per_cell`` fuzzed workloads
+    (identical schedules — the fuzzer draws structure independently of
+    the swept knobs) under the cell's knob values and merges their
+    scores, so cells differ only in what the knobs did to detection.
+    """
+    base = FuzzSpec(seed=int(seed))
+    cells = []
+    for scale in intensity_scales:
+        for width in sketch_widths:
+            for rate in sampling_rates:
+                merged = {ch: DetectorScore(detector=ch) for ch in CHANNELS}
+                events = 0
+                for index in range(workloads_per_cell):
+                    source = FuzzedScenarioSource(
+                        replace(
+                            base,
+                            index=index,
+                            intensity_scale=float(scale),
+                            sampling_rate=int(rate),
+                        )
+                    )
+                    scores = run_source(
+                        source,
+                        mode=mode,
+                        sketch_width=int(width),
+                        tolerance_bins=tolerance_bins,
+                    )
+                    events += len(source.events)
+                    merged = {
+                        ch: merged[ch].merge(scores[ch]) for ch in CHANNELS
+                    }
+                cells.append(
+                    {
+                        "intensity_scale": float(scale),
+                        "sketch_width": int(width),
+                        "sampling_rate": int(rate),
+                        "events": events,
+                        "channels": {
+                            ch: merged[ch].to_dict() for ch in CHANNELS
+                        },
+                    }
+                )
+    return cells
+
+
+def quality_payload(
+    seed: int = QUALITY_SEED,
+    n_fuzzed: int = 10,
+    mode: str = "stream",
+    tolerance_bins: int = QUALITY_TOLERANCE_BINS,
+    with_grid: bool = True,
+) -> dict:
+    """The full quality surface, JSON-ready and bit-reproducible.
+
+    Registered scenarios and the fuzzed fleet run with exact histograms
+    (the detectors' reference behaviour); the grid then degrades
+    intensity, sketch width, and sampling around that reference.
+    """
+    scenarios: dict[str, dict] = {}
+    for source in registered_sources(seed):
+        scores = run_source(source, mode=mode, tolerance_bins=tolerance_bins)
+        entry = _scores_entry(source, scores)
+        entry["kind"] = "registered"
+        scenarios[source.scenario.name] = entry
+    for source in fuzz_sources(n_fuzzed, seed=seed):
+        scores = run_source(source, mode=mode, tolerance_bins=tolerance_bins)
+        entry = _scores_entry(source, scores)
+        entry["kind"] = "fuzzed"
+        scenarios[source.scenario.name] = entry
+    payload = {
+        "schema": 1,
+        "seed": int(seed),
+        "mode": mode,
+        "tolerance_bins": int(tolerance_bins),
+        "shape": {
+            "n_bins": QUALITY_N_BINS,
+            "warmup_bins": QUALITY_WARMUP_BINS,
+            "max_records_per_od": QUALITY_MAX_RECORDS,
+        },
+        "scenarios": scenarios,
+    }
+    if with_grid:
+        payload["grid"] = run_grid(
+            seed=seed, mode=mode, tolerance_bins=tolerance_bins
+        )
+    return payload

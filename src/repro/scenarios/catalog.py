@@ -179,14 +179,20 @@ def scenario_record_batches(
     for b, batch in zip(bins, background):
         staged = by_bin.get(int(b))
         if staged:
+            # Events thinned to zero packets (heavy sampling in the
+            # quality harness) stay in the ground-truth schedule but
+            # materialise no records — exactly what a sampled export
+            # would show.
             parts = [batch] + [
                 anomaly_record_batch(
                     generator, e.od, e.bin, e.trace,
                     salt=seed, max_records=event_record_cap,
                 )
                 for e in staged
+                if e.trace.packets >= 1
             ]
-            batch = FlowRecordBatch.concat(parts).sort_by_time()
+            if len(parts) > 1:
+                batch = FlowRecordBatch.concat(parts).sort_by_time()
         yield batch
 
 

@@ -37,6 +37,7 @@ from repro.anomalies.base import AnomalyTrace
 from repro.flows.features import DST_IP, FEATURES, SRC_IP
 from repro.flows.records import FlowRecordBatch
 from repro.net.addressing import ANONYMIZATION_BITS, EPHEMERAL_PORT_START, make_ip
+from repro.traffic.distributions import sample_flow_sizes
 
 __all__ = ["anomaly_record_batch"]
 
@@ -137,7 +138,17 @@ def anomaly_record_batch(
     total = int(trace.packets)
     richest = max(c.n_values for c in trace.contributions)
     n = int(min(max_records, max(1, total // 3, richest)))
-    pkts = np.maximum(1, rng.multinomial(total, np.full(n, 1.0 / n))).astype(np.int64)
+    # A ``flow_cdf`` meta entry (set by the quality fuzzer) spreads the
+    # volume over records with a heavy-tailed CDF-sampled flow-size mix
+    # instead of the uniform split; absent, the draw sequence is
+    # bit-identical to the pre-fuzzer materialiser.
+    profile = trace.meta.get("flow_cdf")
+    if profile is not None:
+        sizes = sample_flow_sizes(profile, n, rng).astype(np.float64)
+        pmf = sizes / sizes.sum()
+    else:
+        pmf = np.full(n, 1.0 / n)
+    pkts = np.maximum(1, rng.multinomial(total, pmf)).astype(np.int64)
 
     columns: dict[str, np.ndarray] = {}
     for k, name in enumerate(FEATURES):

@@ -21,7 +21,60 @@ __all__ = [
     "sample_histogram",
     "poisson_histogram_rows",
     "active_support",
+    "FLOW_SIZE_CDFS",
+    "sample_flow_sizes",
 ]
+
+#: Empirical flow-size CDFs, ``[(cdf_value, flow_size_bytes), ...]`` in
+#: ascending CDF order.  The shapes follow the published web-search and
+#: data-mining datacenter workloads widely used for synthetic-traffic
+#: generation (cf. PrintQueue's ``generate_flows_by_CDF_sample``): most
+#: flows are mice, a small fraction of elephants carries most bytes.
+FLOW_SIZE_CDFS: dict[str, tuple[tuple[float, int], ...]] = {
+    "web-search": (
+        (0.15, 6_144), (0.20, 13_312), (0.30, 19_456), (0.40, 33_792),
+        (0.53, 54_272), (0.60, 136_192), (0.70, 683_008),
+        (0.80, 1_365_000), (0.90, 3_413_000), (0.97, 6_827_000),
+        (1.00, 20_480_000),
+    ),
+    "data-mining": (
+        (0.50, 1_024), (0.60, 2_048), (0.70, 3_072), (0.80, 7_168),
+        (0.90, 273_408), (0.95, 2_157_568), (0.99, 68_267_000),
+        (1.00, 682_667_000),
+    ),
+}
+
+
+def sample_flow_sizes(
+    profile: str | tuple[tuple[float, int], ...],
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Inverse-CDF sample of ``n`` flow sizes (bytes) from a size mix.
+
+    ``profile`` is a :data:`FLOW_SIZE_CDFS` key or an explicit
+    ``((cdf_value, size_bytes), ...)`` table in ascending CDF order;
+    each uniform draw maps to the first CDF point at or above it, like
+    the step-sampled synthetic traces of the PrintQueue end hosts.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = FLOW_SIZE_CDFS[profile]
+        except KeyError:
+            known = ", ".join(sorted(FLOW_SIZE_CDFS))
+            raise ValueError(
+                f"unknown flow-size profile {profile!r}; known: {known}"
+            ) from None
+    points = np.asarray(profile, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2 or not len(points):
+        raise ValueError("flow-size CDF needs (cdf, size) rows")
+    cdf, sizes = points[:, 0], points[:, 1]
+    if np.any(np.diff(cdf) <= 0) or cdf[-1] < 1.0:
+        raise ValueError("flow-size CDF values must ascend to 1.0")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    picks = cdf.searchsorted(rng.random(n), side="left")
+    return sizes[picks].astype(np.int64)
 
 
 def zipf_pmf(n: int, alpha: float) -> np.ndarray:

@@ -346,6 +346,20 @@ class TestCoordinatorProtocol:
         assert report.n_bins_warmup == WARMUP_BINS
         assert report.n_bins_scored == 2
 
+    def test_gap_verdicts_carry_zero_records(self):
+        # The scored gap bin yields an ordinary verdict whose record
+        # count says "nothing arrived", distinguishing a quiet network
+        # from a silent shard in the report.
+        coordinator = ClusterCoordinator(self._engine(), shard_ids=[0])
+        coordinator.add_summary(0, self._summary(0))
+        coordinator.add_summary(0, self._summary(9, seed=2))  # bins 1-8 unseen
+        coordinator.close_shard(0)
+        report = coordinator.finish()
+        by_bin = {d.bin: d for d in report.detections}
+        assert set(by_bin) == {8, 9}
+        assert by_bin[8].n_records == 0  # synthesized gap bin
+        assert by_bin[9].n_records > 0  # the real summary
+
     def test_rejects_topology_mismatch(self):
         coordinator = ClusterCoordinator(self._engine(), shard_ids=[0])
         rng = np.random.default_rng(11)

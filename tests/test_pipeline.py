@@ -140,6 +140,38 @@ class TestModeParityMatrix:
         assert _signature(cluster.report) == _signature(stream.report)
 
 
+class TestFuzzedParity:
+    """Pinned parity regression over fuzzer-shaped workloads.
+
+    The quality fuzzer (PR 6) swept hundreds of seeded workloads across
+    all three modes without surfacing a divergence; these specs pin the
+    closest calls — trace thinning (per-event thin seeds) and the
+    CDF-weighted flow-size mix — so a future regression in sharded
+    regeneration fails here, not in a nightly fuzz run.
+    """
+
+    SPECS = (
+        dict(seed=0, index=0),                       # CLI smoke default
+        dict(seed=7, index=4, sampling_rate=100),    # heavy thinning
+        dict(seed=13, index=1, flow_profile="data-mining", intensity_scale=0.5),
+        dict(seed=11, index=2, flow_profile=None),   # uniform record spread
+    )
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: f"fuzz-{s['seed']}-{s['index']}")
+    def test_fuzzed_modes_identical(self, spec):
+        from repro.quality import FuzzSpec, FuzzedScenarioSource
+
+        pipeline = DetectionPipeline(_config())
+        source = FuzzedScenarioSource(FuzzSpec(**spec))
+        reference = pipeline.run(source, mode="stream")
+        ref_sig = _signature(reference.report)
+        batch = pipeline.run(source, mode="batch")
+        assert _signature(batch.report) == ref_sig
+        cluster = pipeline.run(source, mode="cluster", n_shards=3)
+        assert _signature(cluster.report) == ref_sig
+        assert sum(cluster.shard_records.values()) == reference.n_records
+
+
 class TestScenarioRegistry:
     def test_at_least_five_scenarios(self):
         assert len(scenario_names()) >= 5
@@ -269,6 +301,56 @@ class TestDetectorBank:
             DetectorBank(_config(), detectors=("entropy", "wavelet"))
         with pytest.raises(ValueError, match="at least one"):
             DetectorBank(_config(), detectors=())
+
+    def test_duplicate_registration_rejected(self):
+        from repro.pipeline.bank import _DETECTOR_REGISTRY, register_detector
+
+        original = _DETECTOR_REGISTRY["entropy"]
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_detector("entropy")
+            class Impostor:
+                pass
+
+        # The rejection left the registry untouched.
+        assert _DETECTOR_REGISTRY["entropy"] is original
+
+    def test_zero_record_bin_scores_as_ordinary_verdict(self):
+        # A bin the aggregator closed empty (e.g. a synthesized cluster
+        # gap) must flow through a warm bank as an ordinary verdict —
+        # and a network going silent after a warm baseline IS an
+        # anomaly, so the entropy channel flags it rather than crashing
+        # on the all-zero summary.
+        rng = np.random.default_rng(3)
+        bank = DetectorBank(_config(warmup_bins=8), detectors=("entropy", "volume"))
+        p = 5
+        verdicts = {}
+        for b in range(10):
+            if b == 9:
+                summary = BinSummary(
+                    bin=b,
+                    entropy=np.zeros((p, 4)),
+                    packets=np.zeros(p),
+                    bytes=np.zeros(p),
+                    n_records=0,
+                )
+            else:
+                packets = rng.uniform(90, 110, p)
+                summary = BinSummary(
+                    bin=b,
+                    entropy=rng.normal(2.0, 0.01, (p, 4)),
+                    packets=packets,
+                    bytes=packets * 500,
+                    n_records=30,
+                )
+            verdict = bank.observe(summary)
+            if verdict is not None:
+                verdicts[b] = verdict
+        assert verdicts[9].n_records == 0
+        assert verdicts[9].detected_by_entropy  # silence is anomalous
+        assert bank.n_bins_scored == 2
+        report = bank.finish()
+        assert [d.bin for d in report.detections] == [8, 9]
 
     def test_entropy_only_bank_never_flags_volume(self):
         rng = np.random.default_rng(0)

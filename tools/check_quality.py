@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Detection-quality regression gate — ``check_perf.py``'s sibling.
+
+Compares a freshly generated ``benchmarks/results/quality.json``
+against the committed baseline (``git show HEAD:...`` by default) and
+fails — exit code 1 — when detection quality drops:
+
+* per scenario (registered and fuzzed) and per detection channel,
+  precision or recall may not fall more than ``--max-drop`` (absolute,
+  default 0.05) below the baseline;
+* every baseline scenario must still be present in the fresh results
+  (a vanished scenario is a silent coverage loss, not an improvement);
+* grid cells are compared cell-by-cell under the same tolerance, keyed
+  by their (intensity, sketch width, sampling rate) coordinates.
+
+The quality payload is bit-reproducible for a given seed, so on an
+unchanged detector the gate compares identical numbers; any slack
+``--max-drop`` grants is for deliberate, reviewed trade-offs (a faster
+sketch that loses a point of recall), not for noise.
+
+Run after the quality benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_quality.py
+    python tools/check_quality.py
+
+Skip with ``REPRO_SKIP_QUALITY_GATE=1`` (prints what it would have
+compared and exits 0).  Improvements are reported but never fail the
+gate; commit the fresh JSON to ratchet the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_DEFAULT = REPO_ROOT / "benchmarks" / "results" / "quality.json"
+BASELINE_GIT_PATH = "benchmarks/results/quality.json"
+SKIP_ENV = "REPRO_SKIP_QUALITY_GATE"
+
+#: Channels the gate enforces ("volume" rides along inside "any").
+GATED_CHANNELS = ("entropy", "any")
+GATED_METRICS = ("precision", "recall")
+
+
+def _load_baseline(spec: str) -> dict:
+    if spec == "git:HEAD":
+        payload = subprocess.run(
+            ["git", "show", f"HEAD:{BASELINE_GIT_PATH}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(payload)
+    return json.loads(Path(spec).read_text())
+
+
+def _gate(name: str, metric: str, fresh: float, base: float, max_drop: float) -> bool:
+    ok = fresh >= base - max_drop
+    if fresh > base:
+        print(f"quality gate [IMPROVED]: {name} {metric} {base:.3f} -> {fresh:.3f}")
+    elif ok:
+        print(f"quality gate [OK]: {name} {metric} {fresh:.3f} "
+              f"vs baseline {base:.3f} (-{max_drop:.2f} allowed)")
+    else:
+        print(f"quality gate [REGRESSION]: {name} {metric} {fresh:.3f} "
+              f"vs baseline {base:.3f} (floor {base - max_drop:.3f})")
+    return ok
+
+
+def _compare_channels(name: str, fresh_channels: dict, base_channels: dict,
+                      max_drop: float) -> bool:
+    ok = True
+    for channel in GATED_CHANNELS:
+        base_ch = base_channels.get(channel)
+        fresh_ch = fresh_channels.get(channel)
+        if base_ch is None:
+            continue
+        if fresh_ch is None:
+            print(f"quality gate [MISSING]: {name} lost channel {channel!r}")
+            ok = False
+            continue
+        for metric in GATED_METRICS:
+            ok &= _gate(f"{name}/{channel}", metric,
+                        float(fresh_ch[metric]), float(base_ch[metric]), max_drop)
+    return ok
+
+
+def _cell_key(cell: dict) -> tuple:
+    return (cell["intensity_scale"], cell["sketch_width"], cell["sampling_rate"])
+
+
+def compare(fresh: dict, baseline: dict, max_drop: float) -> bool:
+    """All gates over one fresh/baseline payload pair."""
+    ok = True
+    fresh_scenarios = fresh.get("scenarios", {})
+    for name, base_entry in sorted(baseline.get("scenarios", {}).items()):
+        fresh_entry = fresh_scenarios.get(name)
+        if fresh_entry is None:
+            print(f"quality gate [MISSING]: scenario {name!r} vanished from "
+                  f"fresh results")
+            ok = False
+            continue
+        ok &= _compare_channels(name, fresh_entry["channels"],
+                               base_entry["channels"], max_drop)
+    fresh_cells = {_cell_key(c): c for c in fresh.get("grid", [])}
+    for base_cell in baseline.get("grid", []):
+        key = _cell_key(base_cell)
+        fresh_cell = fresh_cells.get(key)
+        label = ("grid[x{0}, w{1}, 1/{2}]".format(*key))
+        if fresh_cell is None:
+            print(f"quality gate [MISSING]: {label} vanished from fresh grid")
+            ok = False
+            continue
+        ok &= _compare_channels(label, fresh_cell["channels"],
+                               base_cell["channels"], max_drop)
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        default=str(FRESH_DEFAULT),
+        help="freshly generated quality.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="git:HEAD",
+        help="committed baseline: 'git:HEAD' (default) or a file path",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.05,
+        help="allowed absolute drop in precision/recall (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    if os.environ.get(SKIP_ENV):
+        print(f"quality gate skipped ({SKIP_ENV} set)")
+        return 0
+
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+    except OSError as exc:
+        print(f"quality gate: cannot read fresh results: {exc}", file=sys.stderr)
+        return 1
+    try:
+        baseline = _load_baseline(args.baseline)
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+        print("quality gate: no committed quality baseline yet; fresh numbers "
+              "recorded only (commit benchmarks/results/quality.json to arm "
+              "the gate)")
+        return 0
+
+    if fresh.get("seed") != baseline.get("seed"):
+        print(f"quality gate: seed mismatch (fresh {fresh.get('seed')} vs "
+              f"baseline {baseline.get('seed')}); numbers are not comparable",
+              file=sys.stderr)
+        return 1
+
+    return 0 if compare(fresh, baseline, args.max_drop) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
