@@ -27,16 +27,67 @@ def emit(name: str, report: str) -> None:
     print(f"\n{report}\n")
 
 
+def peak_rss_bytes() -> int:
+    """This process's resident-set high-water mark, in bytes.
+
+    ``ru_maxrss`` is the kernel's own peak — no sampling thread needed —
+    reported in KiB on Linux and bytes on macOS (same heuristic as
+    :func:`repro.telemetry.sample_rss_bytes`).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if maxrss > 1 << 32 else 1024
+    return int(maxrss) * scale
+
+
 def write_json_result(name: str, payload: dict) -> Path:
     """Persist a machine-readable result as ``results/<name>.json``.
 
     Keys are sorted and the layout is stable so diffs across commits
-    stay meaningful; the path is returned for logging.
+    stay meaningful; the path is returned for logging.  Every payload
+    gains a ``peak_rss_bytes`` key so the memory envelope is tracked
+    alongside throughput (``tools/check_quality.py`` and
+    ``tools/check_perf.py`` ignore unknown keys).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("peak_rss_bytes", peak_rss_bytes())
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def stage_profile(func, *args, **kwargs):
+    """Run ``func`` once under a fresh telemetry session.
+
+    Returns ``(result, stages)`` where ``stages`` maps span label to
+    ``{"calls", "total_s", "self_s"}`` — the per-stage breakdown the
+    perf benchmarks persist next to their timed rates, so a regression
+    in ``tools/check_perf.py`` can be localised to a stage instead of
+    re-profiled by hand.  The timed repeats stay telemetry-disabled;
+    this single instrumented run is extra, and telemetry is disabled
+    again on exit.
+    """
+    from repro import telemetry
+
+    session = telemetry.enable(poll=False)
+    try:
+        result = func(*args, **kwargs)
+        snapshot = session.snapshot()
+    finally:
+        telemetry.disable()
+    stages = {
+        label: {
+            "calls": stats["count"],
+            "total_s": round(stats["total_s"], 6),
+            "self_s": round(stats["self_s"], 6),
+        }
+        for label, stats in snapshot["spans"].items()
+    }
+    return result, stages
 
 
 def timed_repeats(func, repeats: int = 3, *args, **kwargs):

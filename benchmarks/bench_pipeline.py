@@ -17,7 +17,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from _util import emit, rate_summary, run_once, write_json_result
+from _util import emit, rate_summary, run_once, stage_profile, write_json_result
 
 from repro.pipeline import DetectionPipeline, ScenarioSource, TraceSource
 from repro.scenarios import scenario_names
@@ -114,6 +114,13 @@ def test_pipeline_mode_matrix_throughput(benchmark):
             )
         )
     emit("pipeline", "\n".join(lines))
+
+    # One instrumented stream-mode run of the perf-gate scenario records
+    # its stage breakdown (the timed repeats above stay uninstrumented).
+    gate = "baseline-diurnal" if "baseline-diurnal" in names else names[0]
+    _, gate_stages = stage_profile(
+        pipeline.run, TraceSource(root / f"{gate}.trace"), mode="stream"
+    )
     write_json_result(
         "pipeline",
         {
@@ -123,5 +130,6 @@ def test_pipeline_mode_matrix_throughput(benchmark):
             "n_shards": N_SHARDS,
             "records_per_sec": rates_by_scenario,
             "workloads": workloads,
+            "stages": {gate: {"stream": gate_stages}},
         },
     )

@@ -17,7 +17,7 @@ engine mode shows how much of the gap is the sketch estimator itself.
 
 import time
 
-from _util import emit, rate_summary, run_once, write_json_result
+from _util import emit, rate_summary, run_once, stage_profile, write_json_result
 
 from repro.core.multiway import MultiwaySubspaceDetector
 from repro.core.subspace import SubspaceDetector
@@ -101,6 +101,10 @@ def test_streaming_vs_batch_throughput(benchmark):
     exact_rate = rate_summary(n_records, exact_times)
     batch_rate = rate_summary(n_records, batch_times)
 
+    # One extra instrumented run (outside the timed repeats) records the
+    # per-stage breakdown of the gated exact-mode path.
+    _, stages = stage_profile(_run_streaming, topology, batches, exact=True)
+
     def fmt(rate):
         return (
             f"{rate['median']:12,.0f} records/s "
@@ -143,6 +147,7 @@ def test_streaming_vs_batch_throughput(benchmark):
                 "batch_entropy_bins": len(entropy_bins),
                 "batch_volume_bins": len(volume_bins),
             },
+            "stages": {"streaming_exact": stages},
         },
     )
     # The engine must process the full trace and score every post-warm-up bin.

@@ -25,7 +25,14 @@ longer be the end-to-end bottleneck.
 import os
 from pathlib import Path
 
-from _util import emit, rate_summary, run_once, timed_repeats, write_json_result
+from _util import (
+    emit,
+    rate_summary,
+    run_once,
+    stage_profile,
+    timed_repeats,
+    write_json_result,
+)
 
 from repro.cluster import run_cluster
 from repro.flows.binning import TimeBins
@@ -153,6 +160,10 @@ def test_trace_write_and_replay(benchmark, tmp_path):
             ]
         ),
     )
+    # One instrumented warm replay records the per-reader chunk timing
+    # (trace.chunk.cold is the reader's first sweep, .warm the steady
+    # state); the timed repeats above stay uninstrumented.
+    _, replay_stages = stage_profile(_replay)
     write_json_result(
         "trace",
         {
@@ -167,6 +178,7 @@ def test_trace_write_and_replay(benchmark, tmp_path):
                 "replay_mmap_cold": cold_rate,
                 "replay_mmap_warm": warm_rate,
             },
+            "stages": {"replay_mmap_warm": replay_stages},
         },
     )
     # Replay must beat regenerating the records inline by a wide margin

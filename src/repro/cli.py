@@ -137,6 +137,14 @@ def _add_cluster_knobs(parser) -> None:
                         help="in-flight summaries bound (back-pressure)")
 
 
+def _add_telemetry(parser) -> None:
+    parser.add_argument("--telemetry", metavar="PATH",
+                        help="record per-stage spans/counters/resources and "
+                        "export them as JSONL here (see `repro stats`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="bins/s + ETA line on stderr (stdout untouched)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing).
 
@@ -156,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     net_parent = _parent(_add_network)
     engine_parent = _parent(_add_engine)
     stream_parent = _parent(_add_network, _add_generation, _add_warmup,
-                            _add_window, _add_engine)
+                            _add_window, _add_engine, _add_telemetry)
 
     gen = sub.add_parser("generate", help="synthesise a traffic cube",
                          parents=[net_parent])
@@ -206,7 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser(
         "run", help="run a registered scenario in any deployment mode",
-        parents=[engine_parent],
+        parents=[engine_parent, _parent(_add_telemetry)],
     )
     run.add_argument("scenario", help="registered scenario name "
                      "(see `repro scenarios list`)")
@@ -252,7 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     tr = trace_sub.add_parser(
         "replay", help="replay a trace zero-copy through the streaming engine",
-        parents=[_parent(_add_warmup, _add_engine)],
+        parents=[_parent(_add_warmup, _add_engine, _add_telemetry)],
     )
     tr.add_argument("path")
 
@@ -290,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
     qf.add_argument("--shards", type=int, default=2,
                     help="cluster-mode worker count")
     qf.add_argument("--json", help="export per-workload scores + parity here")
+
+    stats = sub.add_parser(
+        "stats", help="render a telemetry JSONL export as per-stage tables"
+    )
+    stats.add_argument("path", help="JSONL file written by --telemetry")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="print a Prometheus text exposition instead")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS) + ["ablations"])
@@ -420,19 +435,59 @@ def _stream_config(args):
     )
 
 
-def _drive_engine(topo, engine, source, json_path, verb="processed") -> int:
+def _telemetry_begin(args, total_bins=None):
+    """Session + progress meter when ``--telemetry``/``--progress`` ask.
+
+    Returns ``(session, meter)`` — both None when telemetry is off, so
+    callers pay nothing on the default path.
+    """
+    wants = bool(getattr(args, "telemetry", None)) or getattr(args, "progress", False)
+    if not wants:
+        return None, None
+    from repro import telemetry
+    from repro.telemetry.progress import ProgressMeter
+
+    session = telemetry.enable()
+    meter = None
+    if getattr(args, "progress", False):
+        meter = ProgressMeter(total_bins=total_bins).start()
+    return session, meter
+
+
+def _telemetry_end(args, session, meter, run_info=None) -> None:
+    """Export (when ``--telemetry PATH``) and tear the session down."""
+    if meter is not None:
+        meter.close()
+    if session is None:
+        return
+    from repro import telemetry
+    from repro.telemetry.export import write_jsonl
+
+    try:
+        if getattr(args, "telemetry", None):
+            path = write_jsonl(args.telemetry, session.snapshot(), run_info)
+            print(f"wrote {path}")
+    finally:
+        telemetry.disable()
+
+
+def _drive_engine(topo, engine, source, json_path, verb="processed"):
     """Run a streaming engine over a source, printing verdicts + summary.
 
     The shared tail of the ``stream`` and ``trace replay`` commands:
     events() re-chunks, ingests, and flushes the final bin, so the
-    per-detection lines cover every scored bin.
+    per-detection lines cover every scored bin.  Returns
+    ``(report, elapsed)`` so callers can stamp telemetry exports.
     """
     import time
 
+    from repro import telemetry as tel
+
     start = time.perf_counter()
-    for verdict in engine.events(source):
+    for verdict in engine.events(tel.timed_iter(source, "stage.source")):
         _print_verdict(topo, verdict)
-    report = engine.finish()
+    with tel.span("stage.report"):
+        report = engine.finish()
     elapsed = time.perf_counter() - start
     rate = report.n_records / elapsed if elapsed > 0 else float("inf")
     print(
@@ -444,7 +499,7 @@ def _drive_engine(topo, engine, source, json_path, verb="processed") -> int:
         from repro.io import write_report_json
 
         print(f"wrote {write_report_json(report.to_diagnosis_report(), json_path)}")
-    return 0
+    return report, elapsed
 
 
 def _cmd_stream(args) -> int:
@@ -484,7 +539,14 @@ def _cmd_stream(args) -> int:
             max_records_per_od=args.max_records,
             seed=args.seed,
         )
-    return _drive_engine(topo, engine, source, args.json)
+    session, meter = _telemetry_begin(args, total_bins=n_bins)
+    run_info = {"command": "stream", "mode": "stream", "network": args.network}
+    try:
+        report, elapsed = _drive_engine(topo, engine, source, args.json)
+        run_info.update({"n_records": report.n_records, "elapsed_s": elapsed})
+        return 0
+    finally:
+        _telemetry_end(args, session, meter, run_info)
 
 
 def _cmd_cluster(args) -> int:
@@ -505,17 +567,25 @@ def _cmd_cluster(args) -> int:
         f"source: {origin}"
     )
 
-    result = run_cluster(
-        network=args.network,
-        n_bins=n_bins,
-        seed=args.seed,
-        n_shards=args.shards,
-        config=config,
-        max_records_per_od=args.max_records,
-        queue_depth=args.queue_depth,
-        on_detection=lambda verdict: _print_verdict(topo, verdict),
-        trace_path=args.trace,
-    )
+    session, meter = _telemetry_begin(args, total_bins=n_bins)
+    run_info = {"command": "cluster", "mode": "cluster", "network": args.network,
+                "n_shards": args.shards}
+    try:
+        result = run_cluster(
+            network=args.network,
+            n_bins=n_bins,
+            seed=args.seed,
+            n_shards=args.shards,
+            config=config,
+            max_records_per_od=args.max_records,
+            queue_depth=args.queue_depth,
+            on_detection=lambda verdict: _print_verdict(topo, verdict),
+            trace_path=args.trace,
+        )
+        run_info.update({"n_records": result.n_records,
+                         "elapsed_s": result.elapsed})
+    finally:
+        _telemetry_end(args, session, meter, run_info)
     report = result.report
     balance = ", ".join(
         f"shard {s}: {n}" for s, n in sorted(result.shard_records.items())
@@ -595,14 +665,24 @@ def _cmd_run(args) -> int:
         f"{mode_desc}, warm-up {warmup} bins, "
         f"source: {source.provenance['source']}"
     )
-    result = DetectionPipeline(config).run(
-        source,
-        mode=args.mode,
-        n_shards=args.shards,
-        queue_depth=args.queue_depth,
-        on_detection=lambda verdict: _print_verdict(topo, verdict),
-        meta={"scenario": scenario.name},
-    )
+    session, meter = _telemetry_begin(args, total_bins=n_bins)
+    run_info = {"command": "run", "scenario": scenario.name, "mode": args.mode,
+                "network": topo.name}
+    if args.mode == "cluster":
+        run_info["n_shards"] = args.shards
+    try:
+        result = DetectionPipeline(config).run(
+            source,
+            mode=args.mode,
+            n_shards=args.shards,
+            queue_depth=args.queue_depth,
+            on_detection=lambda verdict: _print_verdict(topo, verdict),
+            meta={"scenario": scenario.name},
+        )
+        run_info.update({"n_records": result.n_records,
+                         "elapsed_s": result.elapsed})
+    finally:
+        _telemetry_end(args, session, meter, run_info)
     report = result.report
     print(
         f"processed {result.n_records} records -> {report.n_bins_scored} "
@@ -711,10 +791,18 @@ def _cmd_trace(args) -> int:
         f"{reader.n_bins} bins, {topo.name}): {mode}, "
         f"warm-up {args.warmup_bins} bins"
     )
-    return _drive_engine(
-        topo, engine, reader.iter_chunks(args.chunk_records), args.json,
-        verb="replayed",
-    )
+    session, meter = _telemetry_begin(args, total_bins=reader.n_bins)
+    run_info = {"command": "trace replay", "mode": "stream",
+                "network": topo.name, "trace": str(reader.path)}
+    try:
+        report, elapsed = _drive_engine(
+            topo, engine, reader.iter_chunks(args.chunk_records), args.json,
+            verb="replayed",
+        )
+        run_info.update(n_records=report.n_records, elapsed_s=elapsed)
+    finally:
+        _telemetry_end(args, session, meter, run_info)
+    return 0
 
 
 def _cmd_quality(args) -> int:
@@ -842,6 +930,18 @@ def _cmd_quality(args) -> int:
     return 1 if diverged else 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.telemetry.export import prometheus_text, read_events
+    from repro.telemetry.stats import format_stats, snapshot_from_events
+
+    events = read_events(args.path)  # ValueError on schema drift -> exit 2
+    if args.prometheus:
+        print(prometheus_text(snapshot_from_events(events)), end="")
+    else:
+        print(format_stats(events), end="")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -881,6 +981,7 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
         "quality": _cmd_quality,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
     }
     try:

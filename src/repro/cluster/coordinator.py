@@ -24,10 +24,12 @@ Alignment rules:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.cluster.summary import ShardBinSummary, merge_summaries
 from repro.flows.features import N_FEATURES
 from repro.stream.engine import StreamDetection, StreamingDetectionEngine, StreamingReport
@@ -65,11 +67,22 @@ class ClusterCoordinator:
         self._next_bin: int | None = None
         self._n_records = 0
         self._late_records = 0
+        #: bin -> perf_counter of its first summary's arrival; the gap
+        #: to its merge is the bin's wait-for-stragglers latency.
+        self._first_arrival: dict[int, float] = {}
 
     @property
     def n_pending_bins(self) -> int:
         """Bins buffered waiting for lagging shards (back-pressure gauge)."""
         return len(self._pending)
+
+    @property
+    def straggler_lag(self) -> int:
+        """Bin spread between the fastest and slowest open shard."""
+        marks = [self._highwater[s] for s in self._open if s in self._highwater]
+        if len(marks) < 2:
+            return 0
+        return max(marks) - min(marks)
 
     def add_summary(
         self, shard_id: int, summary: ShardBinSummary
@@ -95,6 +108,8 @@ class ClusterCoordinator:
                 f"(coordinator is at bin {self._next_bin})"
             )
         self._highwater[shard_id] = summary.bin
+        if summary.bin not in self._pending:
+            self._first_arrival[summary.bin] = time.perf_counter()
         self._pending.setdefault(summary.bin, {})[shard_id] = summary
         return self._drain()
 
@@ -137,6 +152,11 @@ class ClusterCoordinator:
                 merged = merge_summaries(group.values())
                 self._n_records += merged.n_records
                 merged_bin = merged.to_bin_summary()
+            arrived = self._first_arrival.pop(target, None)
+            if arrived is not None:
+                # Merge latency: how long the bin sat buffered between
+                # its first shard's summary and being merged/scored.
+                tel.record("cluster.bin_wait", time.perf_counter() - arrived)
             verdict = self.engine.observe_summary(merged_bin)
             if verdict is not None:
                 verdicts.append(verdict)

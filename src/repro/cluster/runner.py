@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import telemetry as tel
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.shard import ShardMonitor
 from repro.pipeline.bank import DEFAULT_DETECTORS
@@ -73,10 +74,28 @@ class _WorkerSpec:
     sketch_width: int
     sketch_depth: int
     sketch_seed: int
+    #: run a telemetry session inside the worker and ship snapshots in
+    #: the heartbeat/close messages (set when the parent's is active).
+    telemetry: bool = False
+
+
+def _heartbeat(session) -> dict | None:
+    """Small per-bin progress payload piggybacked on summary messages."""
+    if session is None:
+        return None
+    return {
+        "records": session.counters.get("reduce.records"),
+        "bins": session.counters.get("reduce.bins_closed"),
+        "rss_bytes": tel.sample_rss_bytes(),
+    }
 
 
 def _shard_worker(spec: _WorkerSpec, queue) -> None:
     """Worker entry point: produce records, reduce, ship, close."""
+    # A fresh session per worker: with the ``fork`` start method the
+    # parent's session object is inherited but its poller thread is
+    # not, so reusing it would silently stop sampling.
+    session = tel.enable() if spec.telemetry else None
     try:
         source = build_source(spec.source)
         topology = source.topology
@@ -91,18 +110,30 @@ def _shard_worker(spec: _WorkerSpec, queue) -> None:
             shard_id=spec.shard_id,
         )
         n_records = 0
-        for chunk, ods in source.shard_batches(
-            spec.shard_id,
-            spec.n_shards,
-            router=monitor.router,
-            chunk_records=spec.chunk_records,
-        ):
+        chunks = tel.timed_iter(
+            source.shard_batches(
+                spec.shard_id,
+                spec.n_shards,
+                router=monitor.router,
+                chunk_records=spec.chunk_records,
+            ),
+            "stage.source",
+        )
+        for chunk, ods in chunks:
             n_records += len(chunk)
             for summary in monitor.ingest(chunk, ods=ods):
-                queue.put(("summary", spec.shard_id, summary.to_bytes()))
+                # stage.ship includes back-pressure: a full queue means
+                # the worker waits here for the coordinator.
+                with tel.span("stage.ship"):
+                    queue.put(("summary", spec.shard_id, summary.to_bytes(),
+                               _heartbeat(session)))
         for summary in monitor.flush():
-            queue.put(("summary", spec.shard_id, summary.to_bytes()))
-        queue.put(("close", spec.shard_id, n_records, monitor.late_records))
+            with tel.span("stage.ship"):
+                queue.put(("summary", spec.shard_id, summary.to_bytes(),
+                           _heartbeat(session)))
+        snapshot = session.snapshot() if session is not None else None
+        queue.put(("close", spec.shard_id, n_records, monitor.late_records,
+                   snapshot))
     except Exception as exc:  # pragma: no cover - surfaced in the parent
         import traceback
 
@@ -188,6 +219,7 @@ def run_cluster_source(
     engine.meta.update({"mode": "cluster", "n_shards": int(n_shards)})
     engine.meta.update(meta or {})
     coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
+    session = tel.active()
     specs = [
         _WorkerSpec(
             source=source.spec,
@@ -198,6 +230,7 @@ def run_cluster_source(
             sketch_width=config.sketch_width,
             sketch_depth=config.sketch_depth,
             sketch_seed=config.sketch_seed,
+            telemetry=session is not None,
         )
         for shard_id in range(n_shards)
     ]
@@ -216,7 +249,8 @@ def run_cluster_source(
         open_shards = set(range(n_shards))
         while open_shards:
             try:
-                message = queue.get(timeout=1.0)
+                with tel.span("stage.wait"):
+                    message = queue.get(timeout=1.0)
             except queue_module.Empty:
                 # A worker killed hard (OOM, segfault) never sends its
                 # close/error message; without this liveness check the
@@ -231,14 +265,26 @@ def run_cluster_source(
                 continue
             kind = message[0]
             if kind == "summary":
-                _, shard_id, payload = message
-                verdicts = coordinator.add_serialized(shard_id, payload)
+                _, shard_id, payload, heartbeat = message
+                with tel.span("stage.merge"):
+                    verdicts = coordinator.add_serialized(shard_id, payload)
+                if session is not None:
+                    tel.gauge_max("cluster.straggler_lag_bins",
+                                  coordinator.straggler_lag)
+                    tel.gauge_max("cluster.pending_bins",
+                                  coordinator.n_pending_bins)
+                    if heartbeat:
+                        tel.gauge_max(f"cluster.shard{shard_id}.rss_bytes",
+                                      heartbeat.get("rss_bytes", 0))
             elif kind == "close":
-                _, shard_id, n_records, late_records = message
+                _, shard_id, n_records, late_records, snapshot = message
                 shard_records[shard_id] = n_records
                 coordinator.record_late(late_records)
-                verdicts = coordinator.close_shard(shard_id)
+                with tel.span("stage.merge"):
+                    verdicts = coordinator.close_shard(shard_id)
                 open_shards.discard(shard_id)
+                if session is not None:
+                    session.add_shard(shard_id, snapshot)
             else:
                 _, shard_id, detail = message
                 raise RuntimeError(f"shard {shard_id} failed:\n{detail}")

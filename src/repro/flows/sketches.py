@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.core.entropy import sample_entropy
 
 __all__ = [
@@ -311,26 +312,36 @@ class SketchBank:
         """
         if len(values) == 0:
             return
-        lengths = np.diff(starts)
-        slots = self._slots_for(group_ids)
-        slot_per_run = np.repeat(slots, lengths)
-        v = np.asarray(values, dtype=np.int64) % _PRIME
-        cols = (self._a[:, None] * v[None, :] + self._b[:, None]) % _PRIME % self.width
-        rows = np.arange(self.depth, dtype=np.int64)
-        flat = (
-            (slot_per_run[None, :] * self.depth + rows[:, None]) * self.width + cols
-        )
-        flat_tables = self.tables.reshape(-1)
-        estimates = flat_tables[flat].min(axis=0)
-        targets = estimates + counts
-        np.maximum.at(
-            flat_tables,
-            flat.reshape(-1),
-            np.broadcast_to(targets, (self.depth, len(targets))).reshape(-1),
-        )
-        self.totals[: len(self._slot_of)] += np.bincount(
-            slot_per_run, weights=counts, minlength=len(self._slot_of)
-        ).astype(np.int64)[: len(self._slot_of)]
+        with tel.span("sketch.update"):
+            lengths = np.diff(starts)
+            slots = self._slots_for(group_ids)
+            slot_per_run = np.repeat(slots, lengths)
+            v = np.asarray(values, dtype=np.int64) % _PRIME
+            cols = (self._a[:, None] * v[None, :] + self._b[:, None]) % _PRIME % self.width
+            rows = np.arange(self.depth, dtype=np.int64)
+            flat = (
+                (slot_per_run[None, :] * self.depth + rows[:, None]) * self.width + cols
+            )
+            flat_tables = self.tables.reshape(-1)
+            gathered = flat_tables[flat]
+            estimates = gathered.min(axis=0)
+            targets = estimates + counts
+            np.maximum.at(
+                flat_tables,
+                flat.reshape(-1),
+                np.broadcast_to(targets, (self.depth, len(targets))).reshape(-1),
+            )
+            if tel.enabled():
+                # A row whose counter exceeds the min estimate is shared
+                # with some other (group, value): a hash collision the
+                # conservative update is skipping.  Counting them makes
+                # sketch-width sizing observable instead of guesswork.
+                tel.count("sketch.updates", len(values))
+                tel.count("sketch.collisions",
+                          int((gathered > estimates[None, :]).sum()))
+            self.totals[: len(self._slot_of)] += np.bincount(
+                slot_per_run, weights=counts, minlength=len(self._slot_of)
+            ).astype(np.int64)[: len(self._slot_of)]
 
     def total(self, group_id: int) -> int:
         """Total weight added for one group (0 when never seen)."""

@@ -46,6 +46,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.flows.binning import BIN_SECONDS, TimeBins
 from repro.flows.records import COLUMN_SPEC, FlowRecordBatch
 
@@ -67,6 +68,9 @@ _WIRE_DTYPES = tuple(
     (name, "<f8" if dtype == np.float64 else "<i8") for name, dtype in COLUMN_SPEC
 )
 _ITEM_SIZE = 8
+
+#: Telemetry page-fault proxy: one probe per 4 KiB page of int64 items.
+_PAGE_STRIDE = 4096 // _ITEM_SIZE
 
 
 class TraceError(ValueError):
@@ -396,6 +400,9 @@ class TraceReader:
         header, offsets, data_start = _read_header(self.path)
         self.info = TraceInfo(self.path, header, offsets)
         self._columns: dict[str, np.ndarray] = {}
+        #: False until this reader has completed one full chunk sweep;
+        #: used to label telemetry spans cold vs warm (page-fault proxy).
+        self._swept = False
         n = self.info.n_records
         for k, (name, dtype) in enumerate(_WIRE_DTYPES):
             self._columns[name] = np.memmap(
@@ -496,16 +503,31 @@ class TraceReader:
             spans = [(0, self.n_records)]
         else:
             spans = [self.bin_range(int(b)) for b in bins]
+        # Telemetry labels chunk production cold vs warm per reader
+        # sweep — an mmap page-fault proxy.  With telemetry on, each
+        # chunk's pages are touched (one read per 4 KiB page) inside
+        # the span, so fault time is attributed here instead of leaking
+        # into whatever stage first reads the columns.
+        instrumented = tel.enabled()
+        label = "trace.chunk.warm" if self._swept else "trace.chunk.cold"
         for start, stop in spans:
             for lo in range(start, stop, chunk_records):
-                chunk = self._batch(lo, min(lo + chunk_records, stop))
-                if row_filter is not None:
-                    mask = row_filter(chunk)
-                    if not mask.any():
-                        continue
-                    chunk = chunk.select(mask)
+                with tel.span(label):
+                    chunk = self._batch(lo, min(lo + chunk_records, stop))
+                    if instrumented:
+                        for name in self._columns:
+                            col = getattr(chunk, name)
+                            if len(col):
+                                col[::_PAGE_STRIDE].max()
+                    if row_filter is not None:
+                        mask = row_filter(chunk)
+                        if not mask.any():
+                            continue
+                        chunk = chunk.select(mask)
                 if len(chunk):
+                    tel.count("trace.records_replayed", len(chunk))
                     yield chunk
+        self._swept = True
 
 
 def write_trace(

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as tel
+
 __all__ = [
     "GroupedRuns",
     "group_reduce",
@@ -152,24 +154,26 @@ def group_reduce(
         empty = np.zeros(0, dtype=np.int64)
         return GroupedRuns(empty, np.zeros(1, dtype=np.int64), empty, empty)
 
-    order = _sort_order(groups, values)
-    g = groups[order]
-    v = values[order]
-    w = weights[order]
+    with tel.span("kernel.sort"):
+        order = _sort_order(groups, values)
+        g = groups[order]
+        v = values[order]
+        w = weights[order]
 
-    new_run = np.empty(len(g), dtype=bool)
-    new_run[0] = True
-    np.logical_or(g[1:] != g[:-1], v[1:] != v[:-1], out=new_run[1:])
-    run_starts = np.flatnonzero(new_run)
-    counts = np.add.reduceat(w, run_starts)
-    run_groups = g[run_starts]
-    run_values = v[run_starts]
+    with tel.span("kernel.reduceat"):
+        new_run = np.empty(len(g), dtype=bool)
+        new_run[0] = True
+        np.logical_or(g[1:] != g[:-1], v[1:] != v[:-1], out=new_run[1:])
+        run_starts = np.flatnonzero(new_run)
+        counts = np.add.reduceat(w, run_starts)
+        run_groups = g[run_starts]
+        run_values = v[run_starts]
 
-    new_group = np.empty(len(run_groups), dtype=bool)
-    new_group[0] = True
-    np.not_equal(run_groups[1:], run_groups[:-1], out=new_group[1:])
-    group_starts = np.flatnonzero(new_group)
-    starts = np.append(group_starts, len(run_values)).astype(np.int64)
+        new_group = np.empty(len(run_groups), dtype=bool)
+        new_group[0] = True
+        np.not_equal(run_groups[1:], run_groups[:-1], out=new_group[1:])
+        group_starts = np.flatnonzero(new_group)
+        starts = np.append(group_starts, len(run_values)).astype(np.int64)
     return GroupedRuns(run_groups[group_starts], starts, run_values, counts)
 
 
@@ -194,19 +198,20 @@ def grouped_entropy(counts: np.ndarray, starts: np.ndarray) -> np.ndarray:
     nonempty = lengths > 0
     if not nonempty.any():
         return out
-    # reduceat over the non-empty segment starts only: consecutive
-    # selected starts delimit exactly one segment each (empty segments
-    # occupy zero width between them).
-    seg_starts = starts[:-1][nonempty]
-    totals = np.add.reduceat(counts, seg_starts)
-    per_element_total = np.repeat(totals, lengths[nonempty])
-    with np.errstate(divide="ignore", invalid="ignore"):
-        p = np.where(per_element_total > 0, counts / per_element_total, 0.0)
-        terms = p * np.log2(p, out=np.zeros_like(p), where=p > 0)
-    entropies = -np.add.reduceat(terms, seg_starts)
-    # Segments whose total is 0 (all-zero counts) have entropy 0.
-    entropies[totals == 0] = 0.0
-    out[nonempty] = entropies
+    with tel.span("kernel.entropy"):
+        # reduceat over the non-empty segment starts only: consecutive
+        # selected starts delimit exactly one segment each (empty
+        # segments occupy zero width between them).
+        seg_starts = starts[:-1][nonempty]
+        totals = np.add.reduceat(counts, seg_starts)
+        per_element_total = np.repeat(totals, lengths[nonempty])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(per_element_total > 0, counts / per_element_total, 0.0)
+            terms = p * np.log2(p, out=np.zeros_like(p), where=p > 0)
+        entropies = -np.add.reduceat(terms, seg_starts)
+        # Segments whose total is 0 (all-zero counts) have entropy 0.
+        entropies[totals == 0] = 0.0
+        out[nonempty] = entropies
     return out
 
 

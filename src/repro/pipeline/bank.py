@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.core.online import (
     OnlineClassifier,
     OnlineMultiwayDetector,
@@ -255,12 +256,22 @@ class DetectorBank:
 
     def observe(self, summary) -> StreamDetection | None:
         """Score one closed bin summary; None while still warming up."""
+        # One counter tick per observed bin in every mode — the bank is
+        # the funnel batch, stream and cluster all converge on, which
+        # is what lets `--progress` work everywhere.
+        tel.count("pipeline.bins_closed")
+        tel.count("pipeline.records", int(summary.n_records))
         if not self.is_warm:
             self._warmup_summaries.append(summary)
             if len(self._warmup_summaries) >= self.config.warmup_bins:
-                self._warm_up_from_buffer()
+                with tel.span("stage.score"):
+                    self._warm_up_from_buffer()
             return None
         self.n_bins_scored += 1
+        with tel.span("stage.score"):
+            return self._score(summary)
+
+    def _score(self, summary) -> StreamDetection:
         entropy_verdict = DetectorVerdict()
         volume_hit = False
         for name in self.names:

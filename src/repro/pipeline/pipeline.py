@@ -43,6 +43,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.pipeline.bank import DEFAULT_DETECTORS
 from repro.pipeline.report import StreamDetection, StreamingReport
 from repro.pipeline.sources import RecordSource, SourceSpec, TraceSource, build_source
@@ -200,10 +201,12 @@ class DetectionPipeline:
     def _run_stream(self, source, on_detection, meta) -> PipelineResult:
         engine = self._engine(source, "stream", meta)
         start = time.perf_counter()
-        for verdict in engine.events(source.batches()):
+        chunks = tel.timed_iter(source.batches(), "stage.source")
+        for verdict in engine.events(chunks):
             if on_detection is not None:
                 on_detection(verdict)
-        report = engine.finish()
+        with tel.span("stage.report"):
+            report = engine.finish()
         elapsed = time.perf_counter() - start
         return PipelineResult(
             report=report,
@@ -221,7 +224,11 @@ class DetectionPipeline:
         counted = _CountingChunks(
             source.batches(chunk_records=self.config.chunk_records), bins
         )
-        cube = ODFlowAggregator(source.topology).aggregate_stream(counted, bins)
+        # stage.source nests inside stage.reduce here (the aggregator
+        # pulls chunks); span child-credits keep the stats additive.
+        chunks = tel.timed_iter(counted, "stage.source")
+        with tel.span("stage.reduce"):
+            cube = ODFlowAggregator(source.topology).aggregate_stream(chunks, bins)
         # Same summaries the feature stage would emit, scored by the
         # same bank — only the reduction order differed.
         for b in range(cube.n_bins):
@@ -235,7 +242,8 @@ class DetectionPipeline:
             verdict = engine.observe_summary(summary)
             if verdict is not None and on_detection is not None:
                 on_detection(verdict)
-        report = engine.finish()
+        with tel.span("stage.report"):
+            report = engine.finish()
         report.n_records = counted.n_records
         elapsed = time.perf_counter() - start
         return PipelineResult(

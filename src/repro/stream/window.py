@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry as tel
 from repro.flows.binning import BIN_SECONDS
 from repro.flows.features import N_FEATURES, FEATURES
 from repro.flows.records import FlowRecordBatch
@@ -298,36 +299,38 @@ class StreamFeatureStage:
             return closed
         if ods is not None and len(ods) != len(batch):
             raise ValueError("ods must align with the batch")
-        idx = np.floor((batch.timestamp - self.start) / self.bin_width).astype(np.int64)
-        if idx.size > 1 and np.any(idx[1:] < idx[:-1]):
-            order = np.argsort(idx, kind="stable")
-            idx = idx[order]
-            batch = batch.select(order)
-            if ods is not None:
-                ods = ods[order]
-        distinct = np.unique(idx)
-        single_bin = len(distinct) == 1
-        for b in distinct:
-            b = int(b)
-            mask = None if single_bin else idx == b
-            if self._current_bin is not None and b < self._current_bin:
-                self.late_records += len(batch) if single_bin else int(mask.sum())
-                continue
-            if self._current_bin is None:
-                self._current_bin = b
-                self._current = self._new_accumulator()
-            while b > self._current_bin:
-                closed.append(self._close())
-            sub = batch if single_bin else batch.select(mask)
-            if self.apply_anonymization and self.topology.anonymization_bits:
-                anon = sub.anonymized(self.topology.anonymization_bits)
-            else:
-                anon = sub
-            if ods is None:
-                sub_ods = self.router.resolve_ods_mixed(sub.ingress_pop, sub.dst_ip)
-            else:
-                sub_ods = ods if single_bin else ods[mask]
-            self._current.add_batch(sub_ods, anon)
+        with tel.span("stage.reduce"):
+            idx = np.floor((batch.timestamp - self.start) / self.bin_width).astype(np.int64)
+            if idx.size > 1 and np.any(idx[1:] < idx[:-1]):
+                order = np.argsort(idx, kind="stable")
+                idx = idx[order]
+                batch = batch.select(order)
+                if ods is not None:
+                    ods = ods[order]
+            distinct = np.unique(idx)
+            single_bin = len(distinct) == 1
+            for b in distinct:
+                b = int(b)
+                mask = None if single_bin else idx == b
+                if self._current_bin is not None and b < self._current_bin:
+                    self.late_records += len(batch) if single_bin else int(mask.sum())
+                    continue
+                if self._current_bin is None:
+                    self._current_bin = b
+                    self._current = self._new_accumulator()
+                while b > self._current_bin:
+                    closed.append(self._close())
+                sub = batch if single_bin else batch.select(mask)
+                if self.apply_anonymization and self.topology.anonymization_bits:
+                    anon = sub.anonymized(self.topology.anonymization_bits)
+                else:
+                    anon = sub
+                if ods is None:
+                    sub_ods = self.router.resolve_ods_mixed(sub.ingress_pop, sub.dst_ip)
+                else:
+                    sub_ods = ods if single_bin else ods[mask]
+                self._current.add_batch(sub_ods, anon)
+            tel.count("reduce.records", len(batch))
         return closed
 
     def ingest_histograms(
@@ -367,7 +370,9 @@ class StreamFeatureStage:
         return accumulator.finalize(bin_index)
 
     def _close(self):
-        summary = self._finalize(self._current, self._current_bin)
+        with tel.span("stage.reduce.close"):
+            summary = self._finalize(self._current, self._current_bin)
+        tel.count("reduce.bins_closed")
         self._current_bin += 1
         self._current = self._new_accumulator()
         return summary
@@ -378,7 +383,9 @@ class StreamFeatureStage:
             return []
         if not self._current.touched:
             return []
-        summary = self._finalize(self._current, self._current_bin)
+        with tel.span("stage.reduce.close"):
+            summary = self._finalize(self._current, self._current_bin)
+        tel.count("reduce.bins_closed")
         self._current = None
         self._current_bin = None
         return [summary]

@@ -1,0 +1,241 @@
+"""``repro.telemetry`` — zero-dependency instrumentation for the pipeline.
+
+One process-wide session, explicitly enabled::
+
+    from repro import telemetry
+
+    session = telemetry.enable()
+    with telemetry.span("stage.reduce"):
+        ...
+    telemetry.count("pipeline.records", len(batch))
+    snapshot = session.snapshot()
+    telemetry.disable()
+
+When no session is active — the default — every instrumentation hook
+collapses to almost nothing: :func:`span` performs one module-global
+load, one ``is None`` test, and returns a shared no-op context manager;
+:func:`count`/:func:`gauge` return after the same test.  Hooks sit at
+chunk and bin boundaries (thousands of events per run), never in
+per-record loops, so the disabled overhead on the streaming hot path is
+well under the 2% budget ``tools/check_perf.py`` gates.
+
+The session aggregates three kinds of state (see the submodules):
+
+* :mod:`repro.telemetry.spans` — nestable monotonic-clock spans with
+  per-label count/total/min/max and parent/child time credits;
+* :mod:`repro.telemetry.counters` — counters, gauges, and a sampling
+  RSS/CPU poller (``/proc/self/statm`` + ``resource.getrusage``);
+* :mod:`repro.telemetry.export` — schema-versioned JSONL sink and
+  Prometheus-style text exposition.
+
+Cluster shard workers run their own session (fresh after ``fork``) and
+ship :meth:`TelemetrySession.snapshot` dicts over the existing result
+queue; the coordinator attaches them via :meth:`TelemetrySession.add_shard`
+so one exported file carries the whole cluster's breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, Optional
+
+from .counters import (
+    CounterSet,
+    ResourcePoller,
+    merge_counters,
+    merge_gauges,
+    merge_resources,
+    sample_rss_bytes,
+)
+from .spans import SpanCollector, SpanStats, iter_top_level_stage_time, merge_span_stats
+
+__all__ = [
+    "TelemetrySession",
+    "enable",
+    "disable",
+    "active",
+    "enabled",
+    "span",
+    "record",
+    "count",
+    "counter_value",
+    "gauge",
+    "gauge_max",
+    "timed_iter",
+    "merge_snapshots",
+    "sample_rss_bytes",
+    "SpanStats",
+    "SpanCollector",
+    "CounterSet",
+    "ResourcePoller",
+    "iter_top_level_stage_time",
+    "merge_span_stats",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TelemetrySession:
+    """All telemetry state for one process (or one cluster shard)."""
+
+    def __init__(self, poll_interval_s: float = 0.05, poll: bool = True) -> None:
+        self.spans = SpanCollector()
+        self.counters = CounterSet()
+        self.poller = ResourcePoller(poll_interval_s)
+        if poll:
+            self.poller.start()
+        self.started = time.perf_counter()
+        #: per-shard snapshots attached by the cluster coordinator.
+        self.shards: Dict[int, dict] = {}
+
+    def add_shard(self, shard_id: int, snapshot: Optional[dict]) -> None:
+        if snapshot is not None:
+            self.shards[int(shard_id)] = snapshot
+
+    def snapshot(self) -> dict:
+        """Serializable view of everything collected so far."""
+        return {
+            "elapsed_s": time.perf_counter() - self.started,
+            "spans": self.spans.stats(),
+            "counters": self.counters.counters(),
+            "gauges": self.counters.gauges(),
+            "resources": self.poller.snapshot(),
+            "shards": {str(k): v for k, v in sorted(self.shards.items())},
+        }
+
+    def close(self) -> None:
+        self.poller.stop()
+
+
+_session: Optional[TelemetrySession] = None
+
+
+def enable(poll_interval_s: float = 0.05, poll: bool = True) -> TelemetrySession:
+    """Install a fresh session (replacing any active one) and return it.
+
+    Always builds a new session rather than reusing the old one: in a
+    forked cluster worker the inherited session's poller thread does
+    not exist, so reuse would silently stop sampling.
+    """
+    global _session
+    if _session is not None:
+        _session.close()
+    _session = TelemetrySession(poll_interval_s=poll_interval_s, poll=poll)
+    return _session
+
+
+def disable() -> None:
+    """Stop and remove the active session (no-op when already off)."""
+    global _session
+    if _session is not None:
+        _session.close()
+        _session = None
+
+
+def active() -> Optional[TelemetrySession]:
+    return _session
+
+
+def enabled() -> bool:
+    return _session is not None
+
+
+def span(label: str):
+    """Context manager timing ``label`` (shared no-op when disabled)."""
+    s = _session
+    if s is None:
+        return _NULL_SPAN
+    return s.spans.span(label)
+
+
+def record(label: str, seconds: float) -> None:
+    """Record an externally measured duration under ``label``."""
+    s = _session
+    if s is not None:
+        s.spans.record(label, seconds)
+
+
+def count(name: str, n: int = 1) -> None:
+    s = _session
+    if s is not None:
+        s.counters.inc(name, n)
+
+
+def counter_value(name: str, default: int = 0) -> int:
+    s = _session
+    if s is None:
+        return default
+    return s.counters.get(name, default)
+
+
+def gauge(name: str, value: float) -> None:
+    s = _session
+    if s is not None:
+        s.counters.gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    s = _session
+    if s is not None:
+        s.counters.gauge_max(name, value)
+
+
+def timed_iter(iterable: Iterable, label: str,
+               counter: Optional[str] = None) -> Iterator:
+    """Iterate ``iterable``, timing each ``next()`` under ``label``.
+
+    Used to attribute producer time (``stage.source``) without touching
+    the producer: the span covers only the generator's work, not the
+    consumer's.  When ``counter`` is given and items have a length,
+    ``len(item)`` is added to that counter per item.
+    """
+    it = iter(iterable)
+    while True:
+        with span(label):
+            try:
+                item = next(it)
+            except StopIteration:
+                return
+        if counter is not None and _session is not None:
+            try:
+                _session.counters.inc(counter, len(item))
+            except TypeError:
+                pass
+        yield item
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Losslessly merge session snapshots (e.g. one per cluster shard).
+
+    Spans merge by their monoid algebra, counters sum, gauges take the
+    max, resources take peak-of-peaks and sum CPU seconds.  ``elapsed_s``
+    is the max: shards run concurrently, so the merged view's clock is
+    the slowest shard, not the sum.
+    """
+    snaps = [s for s in snapshots if s]
+    if not snaps:
+        return {
+            "elapsed_s": 0.0, "spans": {}, "counters": {}, "gauges": {},
+            "resources": {}, "shards": {},
+        }
+    return {
+        "elapsed_s": max(float(s.get("elapsed_s", 0.0)) for s in snaps),
+        "spans": merge_span_stats(*(s.get("spans", {}) for s in snaps)),
+        "counters": merge_counters(*(s.get("counters", {}) for s in snaps)),
+        "gauges": merge_gauges(*(s.get("gauges", {}) for s in snaps)),
+        "resources": merge_resources(*(s.get("resources", {}) for s in snaps)),
+        "shards": {},
+    }

@@ -1,0 +1,168 @@
+"""Schema-versioned exports: JSONL event sink + Prometheus text snapshot.
+
+The JSONL format is line-per-event, every line stamped with
+``"schema": "repro.telemetry/1"`` so files survive concatenation and
+partial reads.  Event types:
+
+``run``
+    One per file, first line: run metadata (mode, scenario, records,
+    wall-clock) plus the session's resource snapshot.
+``span`` / ``counter`` / ``gauge``
+    One per label/name, the session's aggregate at export time.
+``shard``
+    One per cluster shard: the shard worker's own session snapshot
+    (spans/counters/gauges/resources) as shipped over the result queue.
+
+:func:`validate_events` raises ``ValueError`` on malformed payloads —
+CI's telemetry smoke job and ``repro stats`` both call it, so a schema
+drift fails loudly instead of rendering garbage tables.
+
+:func:`prometheus_text` renders the same snapshot in Prometheus'
+text exposition format (counters, gauges, and per-span summaries) for
+anyone scraping a long-running deployment; it is a formatting of the
+snapshot, not a server.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SCHEMA = "repro.telemetry/1"
+
+_EVENT_TYPES = ("run", "span", "counter", "gauge", "shard")
+_SPAN_KEYS = ("label", "count", "total_s", "min_s", "max_s", "self_s")
+
+
+def snapshot_events(snapshot: dict, run_info: Optional[dict] = None) -> List[dict]:
+    """Flatten a session snapshot into an ordered list of JSONL events."""
+    run_event: Dict[str, object] = {
+        "schema": SCHEMA,
+        "event": "run",
+        "elapsed_s": snapshot.get("elapsed_s", 0.0),
+        "resources": snapshot.get("resources", {}),
+    }
+    if run_info:
+        run_event.update(run_info)
+    events: List[dict] = [run_event]
+    for label, stats in snapshot.get("spans", {}).items():
+        events.append({
+            "schema": SCHEMA, "event": "span", "label": label,
+            "count": stats["count"], "total_s": stats["total_s"],
+            "min_s": stats["min_s"], "max_s": stats["max_s"],
+            "self_s": stats["self_s"],
+            "children": stats.get("children", {}),
+        })
+    for name, value in snapshot.get("counters", {}).items():
+        events.append({"schema": SCHEMA, "event": "counter",
+                       "name": name, "value": value})
+    for name, value in snapshot.get("gauges", {}).items():
+        events.append({"schema": SCHEMA, "event": "gauge",
+                       "name": name, "value": value})
+    for shard_id, shard_snapshot in snapshot.get("shards", {}).items():
+        events.append({
+            "schema": SCHEMA, "event": "shard", "shard": int(shard_id),
+            "elapsed_s": shard_snapshot.get("elapsed_s", 0.0),
+            "spans": shard_snapshot.get("spans", {}),
+            "counters": shard_snapshot.get("counters", {}),
+            "gauges": shard_snapshot.get("gauges", {}),
+            "resources": shard_snapshot.get("resources", {}),
+        })
+    return events
+
+
+def write_jsonl(path, snapshot: dict, run_info: Optional[dict] = None) -> Path:
+    """Export a session snapshot as JSONL; returns the written path."""
+    path = Path(path)
+    events = snapshot_events(snapshot, run_info)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_events(path) -> List[dict]:
+    """Read and validate a telemetry JSONL file."""
+    events: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            events.append(event)
+    validate_events(events, source=str(path))
+    return events
+
+
+def validate_events(events: List[dict], source: str = "<events>") -> None:
+    """Raise ``ValueError`` unless ``events`` is a well-formed export."""
+    if not events:
+        raise ValueError(f"{source}: empty telemetry export")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{source}: event {i} is not an object")
+        if event.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{source}: event {i} has schema {event.get('schema')!r}, "
+                f"expected {SCHEMA!r}"
+            )
+        kind = event.get("event")
+        if kind not in _EVENT_TYPES:
+            raise ValueError(f"{source}: event {i} has unknown type {kind!r}")
+        if kind == "span":
+            for key in _SPAN_KEYS:
+                if key not in event:
+                    raise ValueError(
+                        f"{source}: span event {i} missing key {key!r}"
+                    )
+        elif kind in ("counter", "gauge"):
+            if "name" not in event or "value" not in event:
+                raise ValueError(
+                    f"{source}: {kind} event {i} missing name/value"
+                )
+        elif kind == "shard":
+            if "shard" not in event:
+                raise ValueError(f"{source}: shard event {i} missing shard id")
+    if events[0].get("event") != "run":
+        raise ValueError(f"{source}: first event must be 'run', "
+                         f"got {events[0].get('event')!r}")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    out = "repro_" + name.replace(".", "_").replace("-", "_") + suffix
+    return out
+
+
+def prometheus_text(snapshot: dict, run_info: Optional[dict] = None) -> str:
+    """Render a snapshot in Prometheus text exposition format."""
+    lines = [
+        f"# repro.telemetry exposition (schema {SCHEMA})",
+        "# TYPE repro_run_elapsed_seconds gauge",
+        f"repro_run_elapsed_seconds {snapshot.get('elapsed_s', 0.0):.6f}",
+    ]
+    resources = snapshot.get("resources", {})
+    if resources:
+        lines.append("# TYPE repro_peak_rss_bytes gauge")
+        lines.append(
+            f"repro_peak_rss_bytes {int(resources.get('peak_rss_bytes', 0))}"
+        )
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for label, stats in snapshot.get("spans", {}).items():
+        metric = _metric_name("span_" + label)
+        lines.append(f"# TYPE {metric}_seconds summary")
+        lines.append(f"{metric}_seconds_count {stats['count']}")
+        lines.append(f"{metric}_seconds_sum {stats['total_s']:.6f}")
+        lines.append(f"{metric}_seconds_max {stats['max_s']:.6f}")
+    return "\n".join(lines) + "\n"

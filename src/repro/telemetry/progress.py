@@ -1,0 +1,96 @@
+"""``--progress``: a bins/s + ETA line on stderr, fed by the counters.
+
+The meter never touches stdout (which carries the run's JSON report)
+and costs the hot path nothing: it is a daemon thread that *reads* the
+active session's ``pipeline.bins_closed`` / ``pipeline.records``
+counters on an interval — the pipeline is not aware it exists.  The
+line is rewritten in place with ``\\r`` when stderr is a TTY and
+printed at most once per interval otherwise, so CI logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Optional, TextIO
+
+from . import active
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.1f}"
+
+
+class ProgressMeter:
+    """Periodic progress line driven by the telemetry counters."""
+
+    def __init__(self, total_bins: Optional[int] = None,
+                 stream: Optional[TextIO] = None,
+                 interval_s: float = 0.5) -> None:
+        self.total_bins = total_bins
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.perf_counter()
+        self._wrote = False
+
+    def _line(self) -> str:
+        session = active()
+        bins = records = 0
+        if session is not None:
+            bins = session.counters.get("pipeline.bins_closed")
+            records = session.counters.get("pipeline.records")
+        elapsed = time.perf_counter() - self._started
+        bin_rate = bins / elapsed if elapsed > 0 else 0.0
+        parts = []
+        if self.total_bins:
+            pct = 100.0 * bins / self.total_bins
+            parts.append(f"bins {bins}/{self.total_bins} ({pct:.0f}%)")
+            if bin_rate > 0 and bins < self.total_bins:
+                eta = (self.total_bins - bins) / bin_rate
+                parts.append(f"ETA {eta:.1f}s")
+        else:
+            parts.append(f"bins {bins}")
+        parts.append(f"{bin_rate:.1f} bins/s")
+        parts.append(f"{_fmt_rate(records / elapsed if elapsed > 0 else 0.0)} rec/s")
+        return "progress: " + "  ".join(parts)
+
+    def _emit(self, final: bool = False) -> None:
+        line = self._line()
+        tty = getattr(self.stream, "isatty", lambda: False)()
+        if tty and not final:
+            self.stream.write("\r" + line.ljust(78))
+        elif tty:
+            self.stream.write("\r" + line.ljust(78) + "\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._wrote = True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._emit()
+
+    def start(self) -> "ProgressMeter":
+        if self._thread is None:
+            self._started = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-progress", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the thread and write one final line."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=1.0)
+        self._thread = None
+        self._emit(final=True)

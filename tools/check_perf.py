@@ -14,6 +14,15 @@ drop larger than the allowed fraction (default 20%):
   ``DetectionPipeline`` (``pipeline.json``, the ``baseline-diurnal``
   row).  Skipped with a note when no fresh ``pipeline.json`` exists.
 
+A fourth gate bounds the cost of the *disabled* telemetry hooks
+(``--max-telemetry-overhead``, default 2%): benchmarks run with
+telemetry off, so the best fresh streaming-exact repeat against the
+committed baseline median is exactly what the dormant
+``telemetry.span``/``count`` call sites cost.  When a throughput gate
+fails and both JSONs carry the benchmarks' ``stages`` breakdown, a
+per-stage delta table is printed so the regression is localised to a
+stage (source, reduce, score, kernels) instead of re-profiled by hand.
+
 Run after the benchmarks::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py
@@ -74,7 +83,47 @@ def _load_baseline(spec: str, git_path: str = BASELINE_GIT_PATH) -> dict:
     return json.loads(Path(spec).read_text())
 
 
-def _gate(name: str, fresh_rate: float, base_rate: float, max_regression: float) -> bool:
+def _fmt_s(value) -> str:
+    return "-" if value is None else f"{float(value) * 1000:,.1f}ms"
+
+
+def _stage_table(fresh_stages: dict, base_stages: dict) -> str:
+    """Per-stage delta table localising a throughput regression.
+
+    Rendered only when a gate fails and both the fresh and committed
+    JSONs carry the ``stages`` breakdown the benchmarks persist (one
+    instrumented run alongside the uninstrumented timed repeats).
+    """
+    labels = sorted(set(fresh_stages) | set(base_stages))
+    lines = [
+        "  per-stage delta (single instrumented run, total time per span):",
+        f"    {'span':<26} {'baseline':>10} {'fresh':>10} {'delta':>8}",
+    ]
+    for label in labels:
+        base = base_stages.get(label, {}).get("total_s")
+        fresh = fresh_stages.get(label, {}).get("total_s")
+        if base is None:
+            delta = "new"
+        elif fresh is None:
+            delta = "gone"
+        elif base > 0:
+            delta = f"{(fresh - base) / base:+.0%}"
+        else:
+            delta = "-"
+        lines.append(
+            f"    {label:<26} {_fmt_s(base):>10} {_fmt_s(fresh):>10} {delta:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _gate(
+    name: str,
+    fresh_rate: float,
+    base_rate: float,
+    max_regression: float,
+    fresh_stages: dict | None = None,
+    base_stages: dict | None = None,
+) -> bool:
     floor = (1.0 - max_regression) * base_rate
     ok = fresh_rate >= floor
     verdict = "OK" if ok else "REGRESSION"
@@ -82,6 +131,32 @@ def _gate(name: str, fresh_rate: float, base_rate: float, max_regression: float)
         f"perf gate [{verdict}]: {name} {fresh_rate:,.0f} records/s "
         f"vs baseline {base_rate:,.0f} (floor {floor:,.0f}, "
         f"-{max_regression:.0%} allowed)"
+    )
+    if not ok and fresh_stages and base_stages:
+        print(_stage_table(fresh_stages, base_stages))
+    return ok
+
+
+def _telemetry_overhead_gate(fresh: dict, baseline: dict, max_overhead: float) -> bool:
+    """Gate the cost of the *disabled* telemetry hooks on the hot path.
+
+    The benchmarks run with telemetry off, so the fresh streaming-exact
+    rate already pays for every dormant ``telemetry.span``/``count``
+    call site.  Comparing the best fresh repeat (least scheduler noise)
+    against the committed baseline median bounds that overhead: hooks
+    costing more than ``max_overhead`` of throughput fail the gate.
+    """
+    entry = fresh["records_per_sec"]["streaming_exact"]
+    fresh_best = float(entry["max"]) if isinstance(entry, dict) else float(entry)
+    base_rate = _rate(baseline["records_per_sec"]["streaming_exact"])
+    floor = (1.0 - max_overhead) * base_rate
+    ok = fresh_best >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    observed = max(0.0, 1.0 - fresh_best / base_rate) if base_rate else 0.0
+    print(
+        f"telemetry overhead gate [{verdict}]: streaming exact (hooks disabled) "
+        f"best-of-repeats {fresh_best:,.0f} records/s vs baseline "
+        f"{base_rate:,.0f} ({observed:.1%} slower, {max_overhead:.0%} allowed)"
     )
     return ok
 
@@ -103,6 +178,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.20,
         help="allowed fractional drop in records/sec (default 0.20)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.02,
+        help="allowed fractional ingest cost of the disabled telemetry "
+        "hooks, best fresh repeat vs baseline median (default 0.02)",
     )
     parser.add_argument(
         "--trace-fresh",
@@ -147,7 +229,10 @@ def main(argv: list[str] | None = None) -> int:
         _rate(fresh["records_per_sec"]["streaming_exact"]),
         _rate(baseline["records_per_sec"]["streaming_exact"]),
         args.max_regression,
+        fresh_stages=fresh.get("stages", {}).get("streaming_exact"),
+        base_stages=baseline.get("stages", {}).get("streaming_exact"),
     )
+    ok &= _telemetry_overhead_gate(fresh, baseline, args.max_telemetry_overhead)
 
     trace_fresh_path = Path(args.trace_fresh)
     if not trace_fresh_path.exists():
@@ -167,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
                 _rate(trace_fresh["records_per_sec"]["replay_mmap_warm"]),
                 _rate(trace_base["records_per_sec"]["replay_mmap_warm"]),
                 args.max_regression,
+                fresh_stages=trace_fresh.get("stages", {}).get("replay_mmap_warm"),
+                base_stages=trace_base.get("stages", {}).get("replay_mmap_warm"),
             )
 
     pipeline_fresh_path = Path(args.pipeline_fresh)
@@ -190,6 +277,10 @@ def main(argv: list[str] | None = None) -> int:
                 _rate(pipeline_fresh["records_per_sec"][row]["stream"]),
                 _rate(pipeline_base["records_per_sec"][row]["stream"]),
                 args.max_regression,
+                fresh_stages=pipeline_fresh.get("stages", {})
+                .get(row, {})
+                .get("stream"),
+                base_stages=pipeline_base.get("stages", {}).get(row, {}).get("stream"),
             )
     return 0 if ok else 1
 
