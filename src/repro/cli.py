@@ -137,6 +137,39 @@ def _add_cluster_knobs(parser) -> None:
                         help="in-flight summaries bound (back-pressure)")
 
 
+def _add_resilience(parser) -> None:
+    group = parser.add_argument_group(
+        "resilience", "worker supervision, checkpointing, fault injection "
+        "(cluster mode)"
+    )
+    group.add_argument("--max-retries", type=int, default=None,
+                       help="restarts allowed per shard before giving up "
+                       "(default 2)")
+    group.add_argument("--backoff", type=float, default=None, metavar="SECS",
+                       help="initial restart backoff, doubled per retry "
+                       "(default 0.1)")
+    group.add_argument("--bin-deadline", type=float, default=None,
+                       metavar="SECS",
+                       help="per-shard progress deadline; a shard silent this "
+                       "long is treated as failed")
+    group.add_argument("--run-deadline", type=float, default=None,
+                       metavar="SECS",
+                       help="wall-clock deadline for the whole run")
+    group.add_argument("--on-fault", choices=("strict", "degrade"),
+                       default=None,
+                       help="after retries are exhausted: abort the run "
+                       "(strict, default) or complete with the dead shard's "
+                       "bins as gaps and the report flagged degraded")
+    group.add_argument("--checkpoint", metavar="PATH",
+                       help="spill every merged bin to this file as it closes")
+    group.add_argument("--resume", action="store_true",
+                       help="replay --checkpoint before spawning workers")
+    group.add_argument("--chaos", metavar="SPEC",
+                       help="deterministic fault injection, e.g. "
+                       "'kill:shard=1,bin=9' or 'seeded:seed=7,count=2' "
+                       "(kinds: kill, stall, corrupt, exit-after-close)")
+
+
 def _add_telemetry(parser) -> None:
     parser.add_argument("--telemetry", metavar="PATH",
                         help="record per-stage spans/counters/resources and "
@@ -211,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--trace", help="shared trace file all workers memory-map "
                          "(instead of per-worker record generation)")
     _add_cluster_knobs(cluster)
+    _add_resilience(cluster)
 
     run = sub.add_parser(
         "run", help="run a registered scenario in any deployment mode",
@@ -234,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the scenario's per-(OD, bin) record cap")
     run.add_argument("--seed", type=int, default=0)
     _add_cluster_knobs(run)
+    _add_resilience(run)
 
     scen = sub.add_parser("scenarios", help="inspect the scenario registry")
     scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
@@ -257,12 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     ti = trace_sub.add_parser("info", help="print a trace file's header")
     ti.add_argument("path")
+    ti.add_argument("--verify", action="store_true",
+                    help="recompute per-column checksums against the header "
+                    "(nonzero exit on mismatch)")
+    ti.add_argument("--allow-partial", action="store_true",
+                    help="recover the complete leading bins of a truncated "
+                    "trace instead of failing")
 
     tr = trace_sub.add_parser(
         "replay", help="replay a trace zero-copy through the streaming engine",
         parents=[_parent(_add_warmup, _add_engine, _add_telemetry)],
     )
     tr.add_argument("path")
+    tr.add_argument("--allow-partial", action="store_true",
+                    help="replay the complete leading bins of a truncated "
+                    "trace instead of failing")
 
     quality = sub.add_parser(
         "quality", help="detection-quality harness: labeled scoring and fuzzing"
@@ -410,6 +454,28 @@ def _print_verdict(topo, verdict) -> None:
     )
 
 
+def _print_cluster_health(result) -> None:
+    """Supervision outcome of a cluster run (silent on a clean run)."""
+    if not (result.degraded or result.restarts):
+        return
+    meta = result.report.meta
+    state = "DEGRADED" if result.degraded else "recovered"
+    print(f"resilience: {state} ({result.restarts} restart(s))")
+    for shard, health in sorted(meta.get("shard_health", {}).items()):
+        line = f"  shard {shard}: {health['status']}"
+        if health.get("restarts"):
+            line += f", {health['restarts']} restart(s)"
+        if health.get("gap_bins"):
+            runs = ", ".join(
+                f"{lo}-{hi}" if lo != hi else str(lo)
+                for lo, hi in health["gap_bins"]
+            )
+            line += f", gap bins {runs}"
+        if health.get("faults"):
+            line += f" ({health['faults'][-1]})"
+        print(line)
+
+
 def _print_detection_counts(report) -> None:
     """Table-2 style summary line of a streaming/cluster report."""
     counts = report.counts()
@@ -433,6 +499,27 @@ def _stream_config(args):
         exact_histograms=args.exact,
         chunk_records=args.chunk_records,
     )
+
+
+def _resilience_policy(args):
+    """A ResiliencePolicy when any supervision flag was given, else None.
+
+    ``None`` lets the runner use its defaults and lets the pipeline
+    reject cluster-only flags in in-process modes with a clear error.
+    """
+    knobs = {
+        "max_retries": args.max_retries,
+        "backoff_s": args.backoff,
+        "bin_deadline_s": args.bin_deadline,
+        "run_deadline_s": args.run_deadline,
+        "on_exhaustion": args.on_fault,
+    }
+    given = {k: v for k, v in knobs.items() if v is not None}
+    if not given:
+        return None
+    from repro.resilience import ResiliencePolicy
+
+    return ResiliencePolicy(**given)
 
 
 def _telemetry_begin(args, total_bins=None):
@@ -581,6 +668,10 @@ def _cmd_cluster(args) -> int:
             queue_depth=args.queue_depth,
             on_detection=lambda verdict: _print_verdict(topo, verdict),
             trace_path=args.trace,
+            resilience=_resilience_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            chaos=args.chaos,
         )
         run_info.update({"n_records": result.n_records,
                          "elapsed_s": result.elapsed})
@@ -595,6 +686,7 @@ def _cmd_cluster(args) -> int:
         f"in {result.elapsed:.2f}s ({result.records_per_sec:,.0f} records/s)"
     )
     print(f"shard load: {balance}")
+    _print_cluster_health(result)
     _print_detection_counts(report)
     if args.json:
         from repro.io import write_report_json
@@ -678,6 +770,10 @@ def _cmd_run(args) -> int:
             queue_depth=args.queue_depth,
             on_detection=lambda verdict: _print_verdict(topo, verdict),
             meta={"scenario": scenario.name},
+            resilience=_resilience_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            chaos=args.chaos,
         )
         run_info.update({"n_records": result.n_records,
                          "elapsed_s": result.elapsed})
@@ -694,6 +790,7 @@ def _cmd_run(args) -> int:
             f"shard {s}: {n}" for s, n in sorted(result.shard_records.items())
         )
         print(f"shard load: {balance}")
+    _print_cluster_health(result)
     _print_detection_counts(report)
     if args.json:
         from repro.io import write_report_json
@@ -752,12 +849,16 @@ def _cmd_trace(args) -> int:
         return 0
 
     if args.trace_command == "info":
-        from repro.io.trace import trace_info
+        from repro.io.trace import trace_info, verify_trace
 
-        info = trace_info(args.path)
+        info = trace_info(args.path, allow_partial=args.allow_partial)
         size_mb = info.path.stat().st_size / 1e6
         print(f"{info.path}: {size_mb:.1f} MB")
         print(f"  records : {info.n_records}")
+        if info.truncated:
+            print(f"  TRUNCATED: header declares {info.declared_records} "
+                  f"records; {info.dropped_records} dropped, "
+                  f"{info.n_bins} complete bins recovered")
         print(f"  bins    : {info.n_bins} x {info.bins.width:.0f}s "
               f"(start {info.bins.start:.0f})")
         print(f"  network : {info.network or 'unknown'}")
@@ -766,6 +867,20 @@ def _cmd_trace(args) -> int:
               f"median {int(np.median(counts))}, max {int(counts.max())}")
         for key in sorted(info.meta):
             print(f"  meta.{key}: {info.meta[key]}")
+        if args.verify:
+            results = verify_trace(args.path)
+            bad = sorted(k for k, v in results.items() if not v["ok"])
+            for name in sorted(results):
+                r = results[name]
+                status = "ok" if r["ok"] else (
+                    f"MISMATCH (stored {r['stored']:#010x}, "
+                    f"computed {r['computed']:#010x})"
+                )
+                print(f"  crc.{name}: {status}")
+            if bad:
+                print(f"verification FAILED: {', '.join(bad)}")
+                return 1
+            print("verification passed: all column checksums match")
         return 0
 
     # replay
@@ -773,7 +888,7 @@ def _cmd_trace(args) -> int:
     from repro.net.topology import abilene, geant
     from repro.stream import StreamingDetectionEngine
 
-    reader = TraceReader(args.path)
+    reader = TraceReader(args.path, allow_partial=args.allow_partial)
     network = reader.network.lower()
     if network not in ("abilene", "geant"):
         raise ValueError(
@@ -791,6 +906,11 @@ def _cmd_trace(args) -> int:
         f"{reader.n_bins} bins, {topo.name}): {mode}, "
         f"warm-up {args.warmup_bins} bins"
     )
+    if reader.info.truncated:
+        print(
+            f"  trace is truncated: replaying {reader.n_bins} complete bins "
+            f"({reader.info.dropped_records} trailing records dropped)"
+        )
     session, meter = _telemetry_begin(args, total_bins=reader.n_bins)
     run_info = {"command": "trace replay", "mode": "stream",
                 "network": topo.name, "trace": str(reader.path)}

@@ -14,20 +14,29 @@ diagnosis as one process reading the whole trace.
 * :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`, the
   bin-aligned central merge point.
 * :mod:`repro.cluster.runner` — :func:`run_cluster`, the
-  ``multiprocessing`` driver behind the ``repro cluster`` command.
+  ``multiprocessing`` driver behind the ``repro cluster`` command, and
+  its shard supervisor (restarts, deadlines, checkpoint/resume,
+  degraded completion — see :mod:`repro.resilience`).
 """
 
 from repro.cluster.coordinator import ClusterCoordinator
-from repro.cluster.runner import ClusterResult, run_cluster, shard_ods
+from repro.cluster.runner import (
+    ClusterResult,
+    run_cluster,
+    run_cluster_source,
+    shard_ods,
+)
 from repro.cluster.shard import ShardMonitor
-from repro.cluster.summary import ShardBinSummary, merge_summaries
+from repro.cluster.summary import ShardBinSummary, SummaryCorruptError, merge_summaries
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterResult",
     "ShardBinSummary",
     "ShardMonitor",
+    "SummaryCorruptError",
     "merge_summaries",
     "run_cluster",
+    "run_cluster_source",
     "shard_ods",
 ]

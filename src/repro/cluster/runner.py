@@ -3,9 +3,9 @@
 Ties the pieces together behind ``repro cluster`` and
 ``DetectionPipeline.run(mode="cluster")``: N worker processes each run
 a :class:`repro.cluster.shard.ShardMonitor` over their OD-flow slice of
-a record source, ship wire-format summaries through a bounded queue
-(back-pressure: a worker sleeping on a full queue stops producing
-records), and the parent's
+a record source, ship wire-format summaries to the parent over a
+per-worker pipe (back-pressure: a worker blocking on a full pipe stops
+producing records), and the parent's
 :class:`repro.cluster.coordinator.ClusterCoordinator` merges and scores
 them with a :class:`repro.stream.engine.StreamingDetectionEngine`.
 
@@ -32,20 +32,43 @@ whichever source a worker uses, it sees bit-identical records for its
 ODs no matter how many shards exist, and the cluster's detections are
 bin-for-bin identical to a single process consuming the whole source
 (exact-histogram mode; sketch mode matches within estimator tolerance).
+
+Supervision (``repro.resilience``): the coordinator loop doubles as a
+shard *supervisor*.  A worker that dies, stalls past the per-bin
+deadline, or ships a corrupt summary is terminated and relaunched with
+bounded retries and exponential backoff — determinism makes the restart
+safe, because the replacement recomputes bit-identical summaries and
+resumes at :meth:`ClusterCoordinator.resume_bin` (duplicates are
+deduped by the reopened-shard path).  A shard out of retries either
+aborts the run (``strict``) or is closed with its remaining bins as
+gaps and the report flagged ``degraded=True`` (``degrade``).  With
+``checkpoint=`` the coordinator spills every closed bin's merged
+summary to disk, and ``resume=True`` replays that file instead of
+recomputing; ``chaos=`` injects a deterministic
+:class:`repro.resilience.FaultPlan` at the workers' ship points for
+tests and the CI chaos-smoke job.
+
+Transport notes: each worker writes to its *own* pipe, so killing one
+worker can never wedge another (a shared queue's write lock dies with
+whoever holds it), and the parent always observes a worker's messages
+*in order, before* the pipe's EOF — a worker whose ``close`` is still
+in flight when it exits is drained, not misreported as a crash.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_module
+import os
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Callable
 
 from repro import telemetry as tel
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.shard import ShardMonitor
+from repro.cluster.summary import SummaryCorruptError
 from repro.pipeline.bank import DEFAULT_DETECTORS
 from repro.pipeline.sources import (
     RecordSource,
@@ -55,6 +78,13 @@ from repro.pipeline.sources import (
     build_source,
     shard_ods,
 )
+from repro.resilience.chaos import FaultPlan, corrupt_payload
+from repro.resilience.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    run_fingerprint,
+)
+from repro.resilience.policy import ResiliencePolicy, ShardHealth
 from repro.stream.engine import StreamConfig, StreamDetection, StreamingDetectionEngine, StreamingReport
 
 # ``shard_ods`` is defined once, next to the sources whose
@@ -77,6 +107,16 @@ class _WorkerSpec:
     #: run a telemetry session inside the worker and ship snapshots in
     #: the heartbeat/close messages (set when the parent's is active).
     telemetry: bool = False
+    #: which launch of this shard the worker is (0 = first); echoed in
+    #: every message so the supervisor can drop a terminated attempt's
+    #: stragglers.
+    attempt: int = 0
+    #: first bin to actually ship; earlier bins are recomputed (the
+    #: source is deterministic) but never sent — the coordinator
+    #: already holds or merged them.
+    resume_bin: int = 0
+    #: deterministic fault plan (chaos harness); None in production.
+    chaos: FaultPlan | None = None
 
 
 def _heartbeat(session) -> dict | None:
@@ -90,12 +130,32 @@ def _heartbeat(session) -> dict | None:
     }
 
 
-def _shard_worker(spec: _WorkerSpec, queue) -> None:
+def _shard_worker(spec: _WorkerSpec, conn) -> None:
     """Worker entry point: produce records, reduce, ship, close."""
     # A fresh session per worker: with the ``fork`` start method the
     # parent's session object is inherited but its poller thread is
     # not, so reusing it would silently stop sampling.
     session = tel.enable() if spec.telemetry else None
+
+    def ship(summary) -> None:
+        if summary.bin < spec.resume_bin:
+            return  # already merged or held by the coordinator
+        payload = summary.to_bytes()
+        if spec.chaos is not None:
+            fault = spec.chaos.fault_for(spec.shard_id, summary.bin, spec.attempt)
+            if fault is not None:
+                if fault.kind == "kill":
+                    os._exit(137)  # hard death mid-bin, nothing shipped
+                elif fault.kind == "stall":
+                    time.sleep(fault.secs)
+                elif fault.kind == "corrupt":
+                    payload = corrupt_payload(payload)
+        # stage.ship includes back-pressure: a full pipe means the
+        # worker waits here for the coordinator.
+        with tel.span("stage.ship"):
+            conn.send(("summary", spec.shard_id, spec.attempt, payload,
+                       _heartbeat(session)))
+
     try:
         source = build_source(spec.source)
         topology = source.topology
@@ -109,6 +169,11 @@ def _shard_worker(spec: _WorkerSpec, queue) -> None:
             exact=spec.exact,
             shard_id=spec.shard_id,
         )
+        # Fast-forward on resume: chunks entirely before the resume bin
+        # only feed bins whose summaries would be dropped anyway.
+        resume_time = (
+            spec.source.bin_start + spec.resume_bin * spec.source.bin_width
+        )
         n_records = 0
         chunks = tel.timed_iter(
             source.shard_batches(
@@ -120,24 +185,37 @@ def _shard_worker(spec: _WorkerSpec, queue) -> None:
             "stage.source",
         )
         for chunk, ods in chunks:
+            if (
+                spec.resume_bin > 0
+                and len(chunk)
+                and chunk.timestamp.max() < resume_time
+            ):
+                continue
             n_records += len(chunk)
             for summary in monitor.ingest(chunk, ods=ods):
-                # stage.ship includes back-pressure: a full queue means
-                # the worker waits here for the coordinator.
-                with tel.span("stage.ship"):
-                    queue.put(("summary", spec.shard_id, summary.to_bytes(),
-                               _heartbeat(session)))
+                ship(summary)
         for summary in monitor.flush():
-            with tel.span("stage.ship"):
-                queue.put(("summary", spec.shard_id, summary.to_bytes(),
-                           _heartbeat(session)))
+            ship(summary)
         snapshot = session.snapshot() if session is not None else None
-        queue.put(("close", spec.shard_id, n_records, monitor.late_records,
-                   snapshot))
+        conn.send(("close", spec.shard_id, spec.attempt, n_records,
+                   monitor.late_records, snapshot))
+        if spec.chaos is not None and spec.chaos.close_fault(
+            spec.shard_id, spec.attempt
+        ):
+            # Die *after* the close message is on the wire: the exact
+            # liveness race where a finished worker looks crashed.
+            conn.close()
+            os._exit(3)
     except Exception as exc:  # pragma: no cover - surfaced in the parent
         import traceback
 
-        queue.put(("error", spec.shard_id, f"{exc!r}\n{traceback.format_exc()}"))
+        try:
+            conn.send(("error", spec.shard_id, spec.attempt,
+                       f"{exc!r}\n{traceback.format_exc()}"))
+        except OSError:
+            pass  # parent already faulted this attempt and closed up
+    finally:
+        conn.close()
 
 
 @dataclass
@@ -151,6 +229,10 @@ class ClusterResult:
         n_records: Records ingested across all shards.
         elapsed: Wall-clock seconds, worker launch to final merge.
         shard_records: Per-shard record counts (load-balance check).
+        degraded: Run completed without one or more shards (their
+            missing bins are gaps); mirrored in report meta.
+        restarts: Worker restarts the supervisor performed.
+        preloaded_bins: Bins replayed from a checkpoint on resume.
     """
 
     report: StreamingReport
@@ -158,6 +240,9 @@ class ClusterResult:
     n_records: int
     elapsed: float
     shard_records: dict[int, int] = field(default_factory=dict)
+    degraded: bool = False
+    restarts: int = 0
+    preloaded_bins: int = 0
 
     @property
     def records_per_sec(self) -> float:
@@ -174,6 +259,10 @@ def run_cluster_source(
     on_detection: Callable[[StreamDetection], None] | None = None,
     detectors: tuple[str, ...] = DEFAULT_DETECTORS,
     meta: dict | None = None,
+    resilience: ResiliencePolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    chaos: FaultPlan | str | None = None,
 ) -> ClusterResult:
     """Run the sharded pipeline over any :class:`RecordSource`.
 
@@ -184,9 +273,10 @@ def run_cluster_source(
         n_shards: Worker process count (>= 1).
         config: Engine knobs; ``exact_histograms``, sketch geometry and
             ``chunk_records`` also shape the shard monitors.
-        queue_depth: Bound on in-flight summaries per queue — the
-            back-pressure knob; workers block rather than outrun the
-            coordinator.
+        queue_depth: Legacy transport knob, still validated for
+            compatibility.  In-flight summaries are now bounded by each
+            worker's OS pipe buffer (workers block on a full pipe), so
+            this value no longer changes behaviour.
         start_method: ``multiprocessing`` start method (None: platform
             default, e.g. ``fork`` on Linux).
         on_detection: Callback invoked with each verdict as bins close
@@ -195,6 +285,15 @@ def run_cluster_source(
             :mod:`repro.pipeline.bank`).
         meta: Extra provenance merged into the report's metadata, on
             top of the source's own and ``mode``/``n_shards``.
+        resilience: Supervision policy (retries, backoff, deadlines,
+            strict-vs-degrade); None uses :class:`ResiliencePolicy`'s
+            defaults (2 retries, strict completion).
+        checkpoint: Path to spill every closed bin's merged summary to;
+            enables crash recovery via ``resume``.
+        resume: Replay an existing ``checkpoint`` file before starting
+            workers, restarting the run from the last closed bin.
+        chaos: Deterministic fault plan (or its ``--chaos`` spec
+            string) injected at the workers' ship points.
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
@@ -203,11 +302,25 @@ def run_cluster_source(
         raise ValueError("n_shards must be >= 1")
     if queue_depth < 1:
         raise ValueError("queue_depth must be >= 1")
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
     if isinstance(source, SourceSpec):
         source = build_source(source)
-    if source.spec.n_bins < 1:
+    n_bins = source.spec.n_bins
+    if n_bins < 1:
         raise ValueError("source must cover at least one bin")
     config = config or StreamConfig()
+    policy = resilience or ResiliencePolicy()
+    if isinstance(chaos, str):
+        chaos = FaultPlan.parse(chaos)
+    if chaos is not None:
+        chaos = chaos.resolve(n_shards, n_bins)
+        for entry in chaos.faults:
+            if entry.shard >= n_shards:
+                raise ValueError(
+                    f"chaos fault targets shard {entry.shard}, "
+                    f"but the run has only {n_shards} shard(s)"
+                )
     engine = StreamingDetectionEngine(
         source.topology,
         config,
@@ -220,8 +333,49 @@ def run_cluster_source(
     engine.meta.update(meta or {})
     coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
     session = tel.active()
-    specs = [
-        _WorkerSpec(
+
+    # -- checkpoint: replay, then attach the spill hook (in that order:
+    # attaching first would re-append every replayed bin).
+    writer: CheckpointWriter | None = None
+    preloaded_bins = 0
+    if checkpoint is not None:
+        fingerprint = run_fingerprint(source.spec, config, detectors)
+        state = None
+        if resume and os.path.exists(checkpoint):
+            state = load_checkpoint(str(checkpoint), fingerprint)
+            for bin_index, payload in state.bins:
+                coordinator.preload(bin_index, payload)
+            preloaded_bins = len(state.bins)
+        writer = CheckpointWriter(str(checkpoint), fingerprint, resume_from=state)
+
+        def _spill(bin_index: int, merged) -> None:
+            writer.append(
+                bin_index, None if merged is None else merged.to_bytes()
+            )
+            tel.count("cluster.checkpoint_bins")
+
+        coordinator.on_bin_merged = _spill
+
+    context = multiprocessing.get_context(start_method)
+
+    # -- supervisor state
+    procs: dict[int, multiprocessing.Process] = {}
+    conns: dict[int, mp_connection.Connection] = {}
+    conn_shard: dict[mp_connection.Connection, int] = {}
+    attempt: dict[int, int] = {s: 0 for s in range(n_shards)}
+    health: dict[int, ShardHealth] = {
+        s: ShardHealth(shard_id=s) for s in range(n_shards)
+    }
+    restart_due: dict[int, float] = {}
+    last_progress: dict[int, float] = {}
+    open_shards = set(range(n_shards))
+    shard_records: dict[int, int] = {}
+    degraded = False
+    total_restarts = 0
+    start = time.perf_counter()
+
+    def spawn(shard_id: int) -> None:
+        spec = _WorkerSpec(
             source=source.spec,
             shard_id=shard_id,
             n_shards=n_shards,
@@ -231,73 +385,230 @@ def run_cluster_source(
             sketch_depth=config.sketch_depth,
             sketch_seed=config.sketch_seed,
             telemetry=session is not None,
+            attempt=attempt[shard_id],
+            resume_bin=coordinator.resume_bin(shard_id),
+            chaos=chaos,
         )
-        for shard_id in range(n_shards)
-    ]
+        reader, writer_end = context.Pipe(duplex=False)
+        proc = context.Process(
+            target=_shard_worker, args=(spec, writer_end), daemon=True
+        )
+        proc.start()
+        # Close the parent's copy of the write end *now*: the pipe's
+        # EOF fires when the last writer closes, and must not wait on
+        # this process (or later-forked siblings, which never inherit
+        # an already-closed fd).
+        writer_end.close()
+        procs[shard_id] = proc
+        conns[shard_id] = reader
+        conn_shard[reader] = shard_id
+        last_progress[shard_id] = time.perf_counter()
+        health[shard_id].status = "running"
 
-    context = multiprocessing.get_context(start_method)
-    queue = context.Queue(maxsize=queue_depth)
-    workers = [
-        context.Process(target=_shard_worker, args=(spec, queue), daemon=True)
-        for spec in specs
-    ]
-    start = time.perf_counter()
-    shard_records: dict[int, int] = {}
-    try:
-        for worker in workers:
-            worker.start()
-        open_shards = set(range(n_shards))
-        while open_shards:
+    def drop_conn(shard_id: int) -> None:
+        reader = conns.pop(shard_id, None)
+        if reader is not None:
+            conn_shard.pop(reader, None)
+            reader.close()
+
+    def emit(verdicts: list[StreamDetection]) -> None:
+        if on_detection is not None:
+            for verdict in verdicts:
+                on_detection(verdict)
+
+    def exhaust(shard_id: int, reason: str) -> None:
+        nonlocal degraded
+        tel.count("resilience.retries_exhausted")
+        if not policy.degrade:
+            raise RuntimeError(
+                f"shard {shard_id} failed after {attempt[shard_id] + 1} "
+                f"attempt(s): {reason}"
+            )
+        degraded = True
+        record = health[shard_id]
+        record.status = "failed"
+        record.gap_bins = list(range(coordinator.resume_bin(shard_id), n_bins))
+        emit(coordinator.close_shard(shard_id))
+        open_shards.discard(shard_id)
+
+    def fault(shard_id: int, reason: str) -> None:
+        nonlocal total_restarts
+        tel.count("resilience.faults")
+        record = health[shard_id]
+        record.record_fault(reason)
+        drop_conn(shard_id)
+        proc = procs.pop(shard_id, None)
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join()
+        if attempt[shard_id] >= policy.max_retries:
+            exhaust(shard_id, reason)
+            return
+        attempt[shard_id] += 1
+        record.attempts += 1
+        record.restarts += 1
+        record.status = "restarting"
+        total_restarts += 1
+        tel.count("resilience.restarts")
+        coordinator.reopen_shard(shard_id)
+        restart_due[shard_id] = (
+            time.perf_counter() + policy.backoff(attempt[shard_id])
+        )
+
+    def handle(message) -> None:
+        kind, shard_id, msg_attempt = message[0], message[1], message[2]
+        if shard_id not in open_shards or msg_attempt != attempt[shard_id]:
+            return  # straggler from a terminated attempt
+        last_progress[shard_id] = time.perf_counter()
+        if kind == "summary":
+            payload, heartbeat = message[3], message[4]
             try:
-                with tel.span("stage.wait"):
-                    message = queue.get(timeout=1.0)
-            except queue_module.Empty:
-                # A worker killed hard (OOM, segfault) never sends its
-                # close/error message; without this liveness check the
-                # coordinator would block on the queue forever.
-                for shard_id in sorted(open_shards):
-                    worker = workers[shard_id]
-                    if not worker.is_alive() and worker.exitcode != 0:
-                        raise RuntimeError(
-                            f"shard {shard_id} worker died with exit code "
-                            f"{worker.exitcode} before closing its stream"
-                        )
-                continue
-            kind = message[0]
-            if kind == "summary":
-                _, shard_id, payload, heartbeat = message
                 with tel.span("stage.merge"):
                     verdicts = coordinator.add_serialized(shard_id, payload)
-                if session is not None:
-                    tel.gauge_max("cluster.straggler_lag_bins",
-                                  coordinator.straggler_lag)
-                    tel.gauge_max("cluster.pending_bins",
-                                  coordinator.n_pending_bins)
-                    if heartbeat:
-                        tel.gauge_max(f"cluster.shard{shard_id}.rss_bytes",
-                                      heartbeat.get("rss_bytes", 0))
-            elif kind == "close":
-                _, shard_id, n_records, late_records, snapshot = message
-                shard_records[shard_id] = n_records
-                coordinator.record_late(late_records)
-                with tel.span("stage.merge"):
-                    verdicts = coordinator.close_shard(shard_id)
-                open_shards.discard(shard_id)
-                if session is not None:
-                    session.add_shard(shard_id, snapshot)
-            else:
-                _, shard_id, detail = message
-                raise RuntimeError(f"shard {shard_id} failed:\n{detail}")
-            if on_detection is not None:
-                for verdict in verdicts:
-                    on_detection(verdict)
-        for worker in workers:
-            worker.join()
+            except SummaryCorruptError:
+                tel.count("resilience.corrupt_summaries")
+                fault(shard_id, "corrupt summary payload (CRC mismatch)")
+                return
+            if session is not None:
+                tel.gauge_max("cluster.straggler_lag_bins",
+                              coordinator.straggler_lag)
+                tel.gauge_max("cluster.pending_bins",
+                              coordinator.n_pending_bins)
+                if heartbeat:
+                    tel.gauge_max(f"cluster.shard{shard_id}.rss_bytes",
+                                  heartbeat.get("rss_bytes", 0))
+            emit(verdicts)
+        elif kind == "close":
+            n_records, late_records, snapshot = message[3], message[4], message[5]
+            shard_records[shard_id] = n_records
+            record = health[shard_id]
+            record.status = "closed"
+            record.n_records = n_records
+            coordinator.record_late(late_records)
+            with tel.span("stage.merge"):
+                verdicts = coordinator.close_shard(shard_id)
+            open_shards.discard(shard_id)
+            if session is not None:
+                session.add_shard(shard_id, snapshot)
+            emit(verdicts)
+        else:  # "error": the worker raised — retryable like any fault
+            fault(shard_id, f"worker exception:\n{message[3]}")
+
+    def check_deadlines(now: float) -> None:
+        if policy.bin_deadline_s is None:
+            return
+        for shard_id in sorted(open_shards):
+            if shard_id not in conns:
+                continue  # awaiting restart (or already resolved)
+            stalled = now - last_progress.get(shard_id, now)
+            if stalled > policy.bin_deadline_s:
+                fault(
+                    shard_id,
+                    f"no summary within the bin deadline "
+                    f"({policy.bin_deadline_s:.1f}s)",
+                )
+
+    try:
+        for shard_id in range(n_shards):
+            spawn(shard_id)
+        while open_shards:
+            now = time.perf_counter()
+            if (
+                policy.run_deadline_s is not None
+                and now - start > policy.run_deadline_s
+            ):
+                if not policy.degrade:
+                    raise RuntimeError(
+                        f"cluster run exceeded its deadline "
+                        f"({policy.run_deadline_s:.1f}s) with shards "
+                        f"{sorted(open_shards)} unfinished"
+                    )
+                degraded = True
+                restart_due.clear()
+                for shard_id in sorted(open_shards):
+                    record = health[shard_id]
+                    record.record_fault("run deadline exceeded")
+                    record.status = "failed"
+                    record.gap_bins = list(
+                        range(coordinator.resume_bin(shard_id), n_bins)
+                    )
+                    drop_conn(shard_id)
+                    proc = procs.pop(shard_id, None)
+                    if proc is not None and proc.is_alive():
+                        proc.terminate()
+                        proc.join()
+                    emit(coordinator.close_shard(shard_id))
+                open_shards.clear()
+                break
+            for shard_id in [s for s, due in restart_due.items() if now >= due]:
+                del restart_due[shard_id]
+                spawn(shard_id)
+            timeout = 1.0
+            if restart_due:
+                timeout = min(
+                    timeout, max(0.001, min(restart_due.values()) - now)
+                )
+            if policy.bin_deadline_s is not None:
+                timeout = min(timeout, max(0.01, policy.bin_deadline_s / 4))
+            if policy.run_deadline_s is not None:
+                remaining = policy.run_deadline_s - (now - start)
+                timeout = min(timeout, max(0.001, remaining))
+            wait_list = list(conn_shard)
+            if not wait_list:
+                time.sleep(timeout)
+                continue
+            with tel.span("stage.wait"):
+                ready = mp_connection.wait(wait_list, timeout=timeout)
+            if not ready:
+                check_deadlines(time.perf_counter())
+                continue
+            for reader in ready:
+                shard_id = conn_shard.get(reader)
+                if shard_id is None:
+                    continue  # faulted earlier in this batch
+                try:
+                    message = reader.recv()
+                except EOFError:
+                    # The worker is gone and — pipes deliver in order —
+                    # everything it sent has already been handled.  A
+                    # shard still open at its EOF really did die early.
+                    drop_conn(shard_id)
+                    proc = procs.get(shard_id)
+                    if proc is not None:
+                        proc.join()
+                    if shard_id in open_shards and shard_id not in restart_due:
+                        code = proc.exitcode if proc is not None else None
+                        fault(
+                            shard_id,
+                            f"worker died with exit code {code} "
+                            f"before closing its stream",
+                        )
+                    continue
+                handle(message)
+            check_deadlines(time.perf_counter())
+        if degraded:
+            # If every shard died early the tail bins have no
+            # deliveries left to trigger the coordinator's gap path;
+            # pad so the report still covers the whole grid.
+            emit(coordinator.pad_to(n_bins))
+        for proc in procs.values():
+            proc.join()
     finally:
-        for worker in workers:
-            if worker.is_alive():
-                worker.terminate()
-                worker.join()
+        for shard_id in list(conns):
+            drop_conn(shard_id)
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        if writer is not None:
+            writer.close()
+    if degraded or total_restarts:
+        engine.meta["degraded"] = degraded
+        engine.meta["shard_health"] = {
+            str(s): health[s].to_meta() for s in range(n_shards)
+        }
+    if preloaded_bins:
+        engine.meta["resumed_bins"] = preloaded_bins
     report = coordinator.finish()
     elapsed = time.perf_counter() - start
     return ClusterResult(
@@ -306,6 +617,9 @@ def run_cluster_source(
         n_records=report.n_records,
         elapsed=elapsed,
         shard_records=shard_records,
+        degraded=degraded,
+        restarts=total_restarts,
+        preloaded_bins=preloaded_bins,
     )
 
 
@@ -320,6 +634,10 @@ def run_cluster(
     start_method: str | None = None,
     on_detection: Callable[[StreamDetection], None] | None = None,
     trace_path: str | Path | None = None,
+    resilience: ResiliencePolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    chaos: FaultPlan | str | None = None,
 ) -> ClusterResult:
     """Run the sharded pipeline on a synthetic or recorded trace.
 
@@ -343,12 +661,17 @@ def run_cluster(
             ``chunk_records`` also shape the shard monitors.
         max_records_per_od: Records materialised per (OD flow, bin)
             (inline synthesis only).
-        queue_depth: Bound on in-flight summaries per queue.
+        queue_depth: Legacy transport knob (see
+            :func:`run_cluster_source`).
         start_method: ``multiprocessing`` start method.
         on_detection: Callback invoked with each verdict as bins close.
         trace_path: Optional recorded trace (:mod:`repro.io.trace`)
             every worker memory-maps.  Its network must match
             ``network``.
+        resilience: Supervision policy (see :func:`run_cluster_source`).
+        checkpoint: Closed-bin spill path for crash recovery.
+        resume: Replay ``checkpoint`` before starting workers.
+        chaos: Deterministic fault plan or its spec string.
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
@@ -373,4 +696,8 @@ def run_cluster(
         queue_depth=queue_depth,
         start_method=start_method,
         on_detection=on_detection,
+        resilience=resilience,
+        checkpoint=checkpoint,
+        resume=resume,
+        chaos=chaos,
     )

@@ -21,11 +21,20 @@ real deployment, PoP monitors — can ship them over queues and sockets
 without pickling.  Exact-mode payloads are canonical: two summaries
 describing the same counts serialize to identical bytes regardless of
 ingestion order or sharding.
+
+The current wire version (``RBS2``) frames the original ``RBS1`` body
+with a CRC32 so bytes corrupted in transit raise
+:class:`SummaryCorruptError` at the coordinator — which can then retry
+the shard — instead of being silently merged into the diagnosis.
+``from_bytes`` still accepts bare ``RBS1`` payloads (older monitors,
+pre-CRC checkpoints); framing is additive, so the canonical-bytes
+property is preserved.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -34,9 +43,12 @@ from repro.flows.sketches import CountMinSketch, entropy_from_sketch
 from repro.kernels import grouped_entropy, merge_histograms
 from repro.stream.window import BinAccumulator, BinSummary
 
-__all__ = ["ShardBinSummary", "merge_summaries"]
+__all__ = ["ShardBinSummary", "SummaryCorruptError", "merge_summaries"]
 
 _MAGIC = b"RBS1"
+#: v2 frame: magic + CRC32 of the enclosed v1 payload (itself magic'd).
+_MAGIC_V2 = b"RBS2"
+_CRC = struct.Struct("<I")
 #: magic, mode, bin, n_od_flows, n_records, width, depth, sketch_seed
 _HEADER = struct.Struct("<4sBqiqiiq")
 _OD_HEADER = struct.Struct("<i")
@@ -44,6 +56,10 @@ _COUNT = struct.Struct("<i")
 _TOTAL = struct.Struct("<q")
 
 _EXACT, _SKETCH = 0, 1
+
+
+class SummaryCorruptError(ValueError):
+    """A wire payload failed its CRC (bytes corrupted in transit)."""
 
 
 class _ExactFeature:
@@ -269,7 +285,18 @@ class ShardBinSummary:
     # -- wire format -------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Serialize to the compact wire format (canonical in exact mode)."""
+        """Serialize to the CRC-framed wire format (canonical in exact mode).
+
+        Layout: ``b"RBS2"`` + CRC32 of the v1 body + the v1 body.  The
+        CRC covers everything after the frame, so any bit flipped in
+        transit is caught by :meth:`from_bytes` before the summary can
+        reach the merge.
+        """
+        body = self._to_bytes_v1()
+        return b"".join([_MAGIC_V2, _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF), body])
+
+    def _to_bytes_v1(self) -> bytes:
+        """The unframed (legacy ``RBS1``) body."""
         mode = _EXACT if self.exact else _SKETCH
         parts = [
             _HEADER.pack(
@@ -309,7 +336,20 @@ class ShardBinSummary:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ShardBinSummary":
-        """Rebuild a summary serialized by :meth:`to_bytes`."""
+        """Rebuild a summary serialized by :meth:`to_bytes`.
+
+        Accepts both wire versions: CRC-framed ``RBS2`` payloads (the
+        frame is verified, :class:`SummaryCorruptError` on mismatch)
+        and bare legacy ``RBS1`` bodies, which predate the checksum.
+        """
+        if data[:4] == _MAGIC_V2:
+            (stored_crc,) = _CRC.unpack_from(data, 4)
+            data = data[4 + _CRC.size :]
+            if zlib.crc32(data) & 0xFFFFFFFF != stored_crc:
+                raise SummaryCorruptError(
+                    "ShardBinSummary payload failed its CRC "
+                    "(bytes corrupted in transit)"
+                )
         if data[:4] != _MAGIC:
             raise ValueError("not a ShardBinSummary payload")
         (_, mode, bin_index, p, n_records, width, depth, sketch_seed) = _HEADER.unpack_from(

@@ -29,6 +29,7 @@ from repro.io.trace import (
     TraceReader,
     TraceWriter,
     trace_info,
+    verify_trace,
     write_trace,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "TraceReader",
     "TraceWriter",
     "trace_info",
+    "verify_trace",
     "write_trace",
 ]

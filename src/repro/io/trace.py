@@ -23,7 +23,19 @@ Because every column is a single contiguous slab, a reader can
 ``mmap`` the file and hand out :class:`FlowRecordBatch` chunks whose
 columns are array *views* into the mapping — no copies, no
 deserialization, RSS bounded by the touched pages regardless of trace
-size.  The writer validates that every appended record's timestamp
+size.
+
+Fault tolerance: the writer records a CRC32 per column slab in the
+header (``column_crcs``; an additive key — older traces parse fine,
+they just can't be verified), and :func:`verify_trace` /
+``repro trace info --verify`` recompute them to catch silent
+corruption.  A trace cut off mid-write — a capture that lost power, a
+copy that died — normally fails the size check, but
+``TraceReader(path, allow_partial=True)`` (and ``--allow-partial`` on
+the CLI) instead recovers every bin whose rows survive in *all nine*
+column slabs: truncation eats the file tail, so the damage lands at
+the end of the last slabs and the recoverable prefix is the minimum
+complete row count across columns, rounded down to a whole bin.  The writer validates that every appended record's timestamp
 falls inside its declared bin (so replay re-bins records exactly where
 the index says they are); records within a bin are stored in append
 order — time-sorted when written from the synthetic stream, and
@@ -41,6 +53,7 @@ import json
 import os
 import shutil
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -57,6 +70,7 @@ __all__ = [
     "TraceReader",
     "write_trace",
     "trace_info",
+    "verify_trace",
 ]
 
 MAGIC = b"RPROTRC1"
@@ -86,19 +100,39 @@ class TraceInfo:
 
     Attributes:
         path: The trace file.
-        n_records: Total records in the trace.
-        n_bins: Number of time bins covered.
+        n_records: Readable records (equals ``declared_records`` unless
+            the trace was recovered from a truncated tail).
+        n_bins: Readable complete time bins.
         bins: The :class:`TimeBins` grid records were binned on.
         network: Generating topology name ("" when unknown).
         meta: Free-form provenance dict (generator seed, record caps,
             config fingerprint, ...).
         bin_counts: ``(n_bins,)`` records per bin.
+        declared_records: Record count the header claims the file holds.
+        truncated: The file tail is missing and this info describes the
+            recovered complete-bin prefix (``allow_partial=True``).
+        dropped_records: Declared records lost to the truncation.
+        column_crcs: Per-column slab CRC32s from the header (None for
+            traces written before checksums existed).
     """
 
-    def __init__(self, path: Path, header: dict, bin_offsets: np.ndarray) -> None:
+    def __init__(
+        self,
+        path: Path,
+        header: dict,
+        bin_offsets: np.ndarray,
+        truncated: bool = False,
+    ) -> None:
         self.path = path
-        self.n_records = int(header["n_records"])
-        self.n_bins = int(header["n_bins"])
+        self.declared_records = int(header["n_records"])
+        # Under partial recovery the offsets describe the readable
+        # complete-bin prefix, not the full declared grid.
+        self.n_records = int(bin_offsets[-1])
+        self.n_bins = len(bin_offsets) - 1
+        self.truncated = bool(truncated)
+        self.dropped_records = self.declared_records - self.n_records
+        crcs = header.get("column_crcs")
+        self.column_crcs = None if crcs is None else [int(c) for c in crcs]
         grid = header["bins"]
         self.bins = TimeBins(
             n_bins=self.n_bins, width=float(grid["width"]), start=float(grid["start"])
@@ -216,6 +250,10 @@ class TraceWriter:
             for k in range(len(_WIRE_DTYPES))
         ]
         self._spools = [p.open("wb") for p in self._spool_paths]
+        # Incremental per-column CRC32s, updated as bytes are spooled;
+        # spool order equals final slab order, so these are the slab
+        # checksums verify_trace() recomputes.
+        self._crcs = [0] * len(_WIRE_DTYPES)
 
     # -- context manager -------------------------------------------------
 
@@ -258,9 +296,11 @@ class TraceWriter:
                 f"batch timestamps [{ts_min:.3f}, {ts_max:.3f}] fall outside "
                 f"bin {b}'s range [{lo:.3f}, {hi:.3f})"
             )
-        for spool, (name, dtype) in zip(self._spools, _WIRE_DTYPES):
+        for k, (spool, (name, dtype)) in enumerate(zip(self._spools, _WIRE_DTYPES)):
             column = np.ascontiguousarray(getattr(batch, name), dtype=dtype)
-            spool.write(memoryview(column))
+            view = memoryview(column).cast("B")
+            spool.write(view)
+            self._crcs[k] = zlib.crc32(view, self._crcs[k])
         self._bin_counts[b] += len(batch)
         self._n_records += len(batch)
 
@@ -289,6 +329,7 @@ class TraceWriter:
             "n_bins": self.n_bins,
             "bins": {"width": self.bin_width, "start": self.start},
             "columns": [{"name": n, "dtype": d} for n, d in _WIRE_DTYPES],
+            "column_crcs": [crc & 0xFFFFFFFF for crc in self._crcs],
             "network": self.network,
             "meta": self.meta,
         }
@@ -312,8 +353,18 @@ class TraceWriter:
         return self.info
 
 
-def _read_header(path: Path) -> tuple[dict, np.ndarray, int]:
-    """Parse and validate a trace header; returns (header, offsets, data_start)."""
+def _read_header(
+    path: Path, allow_partial: bool = False
+) -> tuple[dict, np.ndarray, int, int, bool]:
+    """Parse and validate a trace header.
+
+    Returns ``(header, offsets, data_start, declared_records,
+    truncated)``.  ``offsets`` covers the *readable* bins: the full
+    declared grid normally, or — for a truncated file under
+    ``allow_partial`` — the longest complete-bin prefix whose rows
+    survive in every column slab (``truncated=True``; column ``k``'s
+    slab still starts at ``data_start + k * declared_records * 8``).
+    """
     try:
         size = path.stat().st_size
         with path.open("rb") as handle:
@@ -360,10 +411,20 @@ def _read_header(path: Path) -> tuple[dict, np.ndarray, int]:
             index_bytes = (n_bins + 1) * _ITEM_SIZE
             data_start = index_start + index_bytes
             expected = data_start + n_records * _ITEM_SIZE * len(_WIRE_DTYPES)
-            if size != expected:
+            truncated = size != expected
+            if truncated and not (allow_partial and data_start <= size < expected):
+                # Padded files, or truncation that ate the index itself,
+                # are unrecoverable; plain truncation is recoverable but
+                # only on request.
+                hint = (
+                    "; pass allow_partial=True (--allow-partial) to "
+                    "recover its complete bins"
+                    if data_start <= size < expected
+                    else ""
+                )
                 raise TraceError(
                     f"{path}: truncated or padded trace (file is {size} bytes, "
-                    f"header implies {expected})"
+                    f"header implies {expected}){hint}"
                 )
             handle.seek(index_start)
             offsets = np.frombuffer(
@@ -375,7 +436,34 @@ def _read_header(path: Path) -> tuple[dict, np.ndarray, int]:
                 or np.any(np.diff(offsets) < 0)
             ):
                 raise TraceError(f"{path}: corrupt bin-offset index")
-            return header, offsets, data_start
+            if truncated:
+                # Rows available per column: truncation eats the file
+                # tail, so column k (whose slab starts k * n_records
+                # rows into the data region) keeps the first
+                # (size - slab_start) / 8 of its rows.  Only rows
+                # present in EVERY column are usable, and only whole
+                # bins of them.
+                avail = [
+                    max(
+                        0,
+                        min(
+                            n_records,
+                            (size - data_start - k * n_records * _ITEM_SIZE)
+                            // _ITEM_SIZE,
+                        ),
+                    )
+                    for k in range(len(_WIRE_DTYPES))
+                ]
+                rows = min(avail)
+                last_full = int(np.searchsorted(offsets, rows, side="right")) - 1
+                if last_full < 1:
+                    raise TraceError(
+                        f"{path}: truncated trace has no complete bins to "
+                        f"recover (only {rows} of {n_records} records "
+                        f"survive in every column)"
+                    )
+                offsets = offsets[: last_full + 1]
+            return header, offsets, data_start, n_records, truncated
     except OSError as exc:
         raise TraceError(f"cannot read trace {path}: {exc}") from exc
 
@@ -393,12 +481,21 @@ class TraceReader:
         with TraceReader(path) as reader:
             for chunk in reader.iter_chunks(chunk_records=8192):
                 engine.ingest(chunk)
+
+    ``allow_partial=True`` opts into reading a truncated trace: the
+    reader exposes the longest complete-bin prefix present in every
+    column slab (see :func:`_read_header`) instead of raising
+    :class:`TraceError`; ``reader.info.truncated`` reports which case
+    applied, and column maps keep the *declared* slab stride so the
+    surviving rows line up exactly where the writer put them.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, allow_partial: bool = False) -> None:
         self.path = Path(path)
-        header, offsets, data_start = _read_header(self.path)
-        self.info = TraceInfo(self.path, header, offsets)
+        header, offsets, data_start, declared, truncated = _read_header(
+            self.path, allow_partial=allow_partial
+        )
+        self.info = TraceInfo(self.path, header, offsets, truncated=truncated)
         self._columns: dict[str, np.ndarray] = {}
         #: False until this reader has completed one full chunk sweep;
         #: used to label telemetry spans cold vs warm (page-fault proxy).
@@ -409,7 +506,7 @@ class TraceReader:
                 self.path,
                 dtype=dtype,
                 mode="r",
-                offset=data_start + k * n * _ITEM_SIZE,
+                offset=data_start + k * declared * _ITEM_SIZE,
                 shape=(n,),
             )
 
@@ -601,8 +698,57 @@ def write_trace(
     return writer.info
 
 
-def trace_info(path: str | Path) -> TraceInfo:
-    """Parse a trace header without mapping the columns."""
+def trace_info(path: str | Path, allow_partial: bool = False) -> TraceInfo:
+    """Parse a trace header without mapping the columns.
+
+    ``allow_partial=True`` describes a truncated trace's recoverable
+    complete-bin prefix instead of raising (``info.truncated`` tells
+    which happened).
+    """
     path = Path(path)
-    header, offsets, _ = _read_header(path)
-    return TraceInfo(path, header, offsets)
+    header, offsets, _, _, truncated = _read_header(path, allow_partial=allow_partial)
+    return TraceInfo(path, header, offsets, truncated=truncated)
+
+
+def verify_trace(path: str | Path, chunk_bytes: int = 1 << 22) -> dict[str, dict]:
+    """Recompute each column slab's CRC32 and compare with the header.
+
+    Catches silent corruption a size check can't: a flipped bit in the
+    middle of a slab leaves the file length (and often the replay)
+    plausible while every downstream histogram is wrong.
+
+    Returns:
+        ``{column_name: {"stored": int, "computed": int, "ok": bool}}``.
+
+    Raises:
+        TraceError: If the trace is unreadable, truncated, or predates
+            column checksums (no ``column_crcs`` header key).
+    """
+    path = Path(path)
+    header, offsets, data_start, declared, _ = _read_header(path)
+    stored = header.get("column_crcs")
+    if stored is None:
+        raise TraceError(
+            f"{path}: trace has no column checksums "
+            f"(written before they existed); rewrite it to verify"
+        )
+    results: dict[str, dict] = {}
+    slab_bytes = declared * _ITEM_SIZE
+    with path.open("rb") as handle:
+        for k, (name, _) in enumerate(_WIRE_DTYPES):
+            handle.seek(data_start + k * slab_bytes)
+            crc = 0
+            remaining = slab_bytes
+            while remaining:
+                block = handle.read(min(chunk_bytes, remaining))
+                if not block:
+                    raise TraceError(f"{path}: short read in column {name!r}")
+                crc = zlib.crc32(block, crc)
+                remaining -= len(block)
+            crc &= 0xFFFFFFFF
+            results[name] = {
+                "stored": int(stored[k]),
+                "computed": crc,
+                "ok": crc == int(stored[k]),
+            }
+    return results

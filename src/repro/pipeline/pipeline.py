@@ -72,6 +72,8 @@ class PipelineResult:
     n_records: int
     elapsed: float
     shard_records: dict[int, int] = field(default_factory=dict)
+    degraded: bool = False
+    restarts: int = 0
 
     @property
     def records_per_sec(self) -> float:
@@ -170,6 +172,10 @@ class DetectionPipeline:
         queue_depth: int = 16,
         on_detection: Callable[[StreamDetection], None] | None = None,
         meta: dict | None = None,
+        resilience=None,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        chaos=None,
     ) -> PipelineResult:
         """Run the full pipeline over a source in the chosen mode.
 
@@ -182,6 +188,16 @@ class DetectionPipeline:
             on_detection: Callback invoked with each verdict as bins
                 are scored (all modes).
             meta: Extra provenance merged into the report metadata.
+            resilience: A :class:`repro.resilience.ResiliencePolicy`
+                governing restarts, deadlines, and degraded completion
+                (cluster mode only).
+            checkpoint: Path the coordinator spills closed bins to
+                (cluster mode only).
+            resume: Replay ``checkpoint`` before spawning workers
+                (cluster mode only).
+            chaos: A :class:`repro.resilience.FaultPlan` or spec string
+                injecting deterministic worker faults (cluster mode
+                only; testing aid).
 
         Returns:
             A :class:`PipelineResult`; exact-histogram detections are
@@ -189,10 +205,32 @@ class DetectionPipeline:
         """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        if mode != "cluster":
+            cluster_only = {
+                "resilience": resilience,
+                "checkpoint": checkpoint,
+                "chaos": chaos,
+                "resume": resume or None,
+            }
+            given = [k for k, v in cluster_only.items() if v is not None]
+            if given:
+                raise ValueError(
+                    f"{', '.join(given)} only apply to cluster mode "
+                    f"(mode={mode!r} runs in-process; there are no workers "
+                    "to supervise)"
+                )
         source = self._normalize(source)
         if mode == "cluster":
             return self._run_cluster(
-                source, n_shards, queue_depth, on_detection, meta
+                source,
+                n_shards,
+                queue_depth,
+                on_detection,
+                meta,
+                resilience=resilience,
+                checkpoint=checkpoint,
+                resume=resume,
+                chaos=chaos,
             )
         if mode == "batch":
             return self._run_batch(source, on_detection, meta)
@@ -254,7 +292,16 @@ class DetectionPipeline:
         )
 
     def _run_cluster(
-        self, source, n_shards, queue_depth, on_detection, meta
+        self,
+        source,
+        n_shards,
+        queue_depth,
+        on_detection,
+        meta,
+        resilience=None,
+        checkpoint=None,
+        resume=False,
+        chaos=None,
     ) -> PipelineResult:
         from repro.cluster.runner import run_cluster_source
 
@@ -266,6 +313,10 @@ class DetectionPipeline:
             on_detection=on_detection,
             detectors=self.detectors,
             meta=meta,
+            resilience=resilience,
+            checkpoint=checkpoint,
+            resume=resume,
+            chaos=chaos,
         )
         return PipelineResult(
             report=result.report,
@@ -273,4 +324,6 @@ class DetectionPipeline:
             n_records=result.n_records,
             elapsed=result.elapsed,
             shard_records=result.shard_records,
+            degraded=result.degraded,
+            restarts=result.restarts,
         )

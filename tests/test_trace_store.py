@@ -27,7 +27,15 @@ from hypothesis import strategies as st
 from repro.cli import main
 from repro.flows.binning import TimeBins
 from repro.flows.records import COLUMN_SPEC, FlowRecordBatch
-from repro.io import TraceError, TraceReader, TraceWriter, trace_info, write_trace
+from repro.io import (
+    TraceError,
+    TraceReader,
+    TraceWriter,
+    trace_info,
+    verify_trace,
+    write_trace,
+)
+from repro.resilience import truncate_tail
 from repro.net.topology import abilene
 from repro.stream import (
     StreamConfig,
@@ -407,6 +415,77 @@ class TestZeroCopyReplay:
         _columns_equal(first_bin, batches[0])
 
 
+class TestPartialTailRecovery:
+    """A truncated trace recovers its complete leading bins."""
+
+    def _truncated_copy(self, small_trace, tmp_path, cut=3000):
+        path, info, _ = small_trace
+        copy = tmp_path / "cut.trace"
+        copy.write_bytes(path.read_bytes())
+        truncate_tail(copy, cut)
+        return path, copy, info
+
+    def test_strict_read_raises_with_hint(self, small_trace, tmp_path):
+        _, copy, _ = self._truncated_copy(small_trace, tmp_path)
+        with pytest.raises(TraceError, match="allow_partial"):
+            trace_info(copy)
+
+    def test_partial_read_recovers_complete_bins(self, small_trace, tmp_path):
+        full_path, copy, info = self._truncated_copy(small_trace, tmp_path)
+        partial = trace_info(copy, allow_partial=True)
+        assert partial.truncated
+        assert 0 < partial.n_bins < info.n_bins
+        assert partial.declared_records == info.n_records
+        assert partial.n_records + partial.dropped_records == info.n_records
+        with TraceReader(full_path) as full, \
+                TraceReader(copy, allow_partial=True) as part:
+            for b in range(part.n_bins):
+                whole, recovered = full.read_bin(b), part.read_bin(b)
+                for name in ("src_ip", "dst_port", "packets", "timestamp"):
+                    np.testing.assert_array_equal(
+                        getattr(whole, name), getattr(recovered, name)
+                    )
+
+    def test_truncation_into_early_columns_fails_loudly(
+        self, small_trace, tmp_path
+    ):
+        # Column-major layout: losing most of the file loses whole
+        # trailing columns, so no bin survives in *every* column.
+        path, info, _ = small_trace
+        copy = tmp_path / "deep.trace"
+        copy.write_bytes(path.read_bytes())
+        truncate_tail(copy, copy.stat().st_size // 2)
+        with pytest.raises(TraceError, match="no complete bins"):
+            trace_info(copy, allow_partial=True)
+
+    def test_verify_detects_bit_flip(self, small_trace, tmp_path):
+        path, copy, _ = self._truncated_copy(small_trace, tmp_path, cut=0)
+        assert all(r["ok"] for r in verify_trace(path).values())
+        size = copy.stat().st_size
+        with open(copy, "r+b") as handle:
+            handle.seek(size // 2)
+            byte = handle.read(1)
+            handle.seek(size // 2)
+            handle.write(bytes([byte[0] ^ 0x01]))
+        results = verify_trace(copy)
+        assert sum(not r["ok"] for r in results.values()) == 1
+
+    def test_partial_replay_matches_full_prefix(self, small_trace, tmp_path):
+        _, copy, _ = self._truncated_copy(small_trace, tmp_path)
+        partial = trace_info(copy, allow_partial=True)
+        config = StreamConfig(
+            warmup_bins=WARMUP_BINS, refit_every=0, drift_reset_after=0,
+            n_components=4, exact_histograms=True,
+        )
+        engine = StreamingDetectionEngine(abilene(), config)
+        with TraceReader(copy, allow_partial=True) as reader:
+            for _ in engine.events(reader.iter_chunks()):
+                pass
+        report = engine.finish()
+        assert report.n_records == partial.n_records
+        assert report.n_bins_scored == partial.n_bins - WARMUP_BINS
+
+
 class TestTraceCli:
     def test_write_info_replay(self, tmp_path, capsys):
         out_path = tmp_path / "cli.trace"
@@ -427,6 +506,38 @@ class TestTraceCli:
         ])
         out = capsys.readouterr().out
         assert code == 0 and "scored bins" in out
+
+    def test_info_verify_and_allow_partial(self, tmp_path, capsys):
+        out_path = tmp_path / "cli.trace"
+        main(["trace", "write", "--bins", "12", "--max-records", "10",
+              "--seed", "3", "--output", str(out_path)])
+        capsys.readouterr()
+
+        assert main(["trace", "info", str(out_path), "--verify"]) == 0
+        assert "verification passed" in capsys.readouterr().out
+
+        size = out_path.stat().st_size
+        with open(out_path, "r+b") as handle:
+            handle.seek(size // 2)
+            byte = handle.read(1)
+            handle.seek(size // 2)
+            handle.write(bytes([byte[0] ^ 0x01]))
+        assert main(["trace", "info", str(out_path), "--verify"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+        truncate_tail(out_path, 2000)
+        assert main(["trace", "info", str(out_path)]) == 2
+        assert "allow_partial" in capsys.readouterr().err
+        code = main(["trace", "info", str(out_path), "--allow-partial"])
+        assert code == 0
+        assert "TRUNCATED" in capsys.readouterr().out
+        code = main([
+            "trace", "replay", str(out_path), "--allow-partial",
+            "--warmup-bins", "8", "--exact", "--refit-every", "0",
+            "--components", "4",
+        ])
+        assert code == 0
+        assert "truncated" in capsys.readouterr().out
 
     def test_stream_and_cluster_accept_trace(self, tmp_path, capsys):
         out_path = tmp_path / "cli.trace"
