@@ -23,6 +23,9 @@ N_RECORDS = 400_000
 N_GROUPS = 121
 REPEATS = 5
 SEED = 7
+#: the multi-threaded kernel point measured next to the reference
+#: (bit-identical output; wall-clock is the only thing at stake)
+KERNEL_THREADS = 4
 
 
 def _workload():
@@ -49,8 +52,8 @@ def _counter_reference(groups, values, weights):
     return entropies
 
 
-def _kernel_path(groups, values, weights):
-    runs = group_reduce(groups, values, weights)
+def _kernel_path(groups, values, weights, threads=1):
+    runs = group_reduce(groups, values, weights, threads=threads)
     return dict(zip(runs.group_ids.tolist(), runs.entropies().tolist()))
 
 
@@ -80,6 +83,9 @@ def test_grouped_kernel_vs_counter_loop(benchmark):
     counter_result, counter_times = timed_repeats(
         _counter_reference, REPEATS, groups, values, weights
     )
+    threaded_result, threaded_times = timed_repeats(
+        _kernel_path, REPEATS, groups, values, weights, threads=KERNEL_THREADS
+    )
     _, bank_times = timed_repeats(_sketch_bank, REPEATS, groups, values, weights)
     _, loop_times = timed_repeats(_sketch_loop, REPEATS, groups, values, weights)
 
@@ -87,12 +93,17 @@ def test_grouped_kernel_vs_counter_loop(benchmark):
     assert set(kernel_result) == set(counter_result)
     for g, h in counter_result.items():
         assert abs(kernel_result[g] - h) < 1e-9
+    # The partitioned kernel is bit-identical to the reference, not
+    # merely close: same CSR bundle, same float entropies.
+    assert threaded_result == kernel_result
 
     kernel_rate = rate_summary(N_RECORDS, kernel_times)
     counter_rate = rate_summary(N_RECORDS, counter_times)
+    threaded_rate = rate_summary(N_RECORDS, threaded_times)
     bank_rate = rate_summary(N_RECORDS, bank_times)
     loop_rate = rate_summary(N_RECORDS, loop_times)
     entropy_speedup = kernel_rate["median"] / counter_rate["median"]
+    threads_speedup = threaded_rate["median"] / kernel_rate["median"]
     sketch_speedup = bank_rate["median"] / loop_rate["median"]
 
     emit(
@@ -104,6 +115,9 @@ def test_grouped_kernel_vs_counter_loop(benchmark):
                 f"  kernel (reduce+entropy) : {kernel_rate['median']:12,.0f} records/s",
                 f"  Counter loop            : {counter_rate['median']:12,.0f} records/s"
                 f"  ({entropy_speedup:.1f}x speedup)",
+                f"  kernel, {KERNEL_THREADS} threads       : "
+                f"{threaded_rate['median']:12,.0f} records/s"
+                f"  ({threads_speedup:.2f}x vs 1 thread, bit-identical)",
                 f"  SketchBank batched      : {bank_rate['median']:12,.0f} records/s",
                 f"  per-OD sketch loop      : {loop_rate['median']:12,.0f} records/s"
                 f"  ({sketch_speedup:.1f}x speedup)",
@@ -115,14 +129,17 @@ def test_grouped_kernel_vs_counter_loop(benchmark):
         {
             "n_records": N_RECORDS,
             "n_groups": N_GROUPS,
+            "kernel_threads": KERNEL_THREADS,
             "records_per_sec": {
                 "kernel_grouped_entropy": kernel_rate,
+                f"kernel_grouped_entropy_threads_{KERNEL_THREADS}": threaded_rate,
                 "counter_loop": counter_rate,
                 "sketch_bank": bank_rate,
                 "sketch_loop": loop_rate,
             },
             "speedup": {
                 "grouped_entropy_vs_counter": entropy_speedup,
+                f"threads_{KERNEL_THREADS}_vs_1": threads_speedup,
                 "sketch_bank_vs_loop": sketch_speedup,
             },
         },

@@ -125,6 +125,9 @@ def _add_engine(parser) -> None:
                         help="exact histograms instead of Count-Min sketches")
     parser.add_argument("--refit-every", type=int, default=12,
                         help="clean bins between model refits (0 freezes)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="grouped-reduction kernel threads (any value is "
+                        "bit-identical to the single-threaded reference)")
     parser.add_argument("--alpha", type=float, default=0.999)
     parser.add_argument("--components", type=int, default=10)
     parser.add_argument("--json", help="export the diagnosis-report JSON here")
@@ -289,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     tw.add_argument("--bin-group", type=int, default=64,
                     help="bins materialised per generation pass (memory bound)")
     tw.add_argument("--output", required=True, help="output trace path")
+    tw.add_argument("--derive", action="store_true",
+                    help="also store the derived detection columns (resolved "
+                    "OD + per-feature run ids) for precomputed replay")
 
     ti = trace_sub.add_parser("info", help="print a trace file's header")
     ti.add_argument("path")
@@ -299,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="recover the complete leading bins of a truncated "
                     "trace instead of failing")
 
+    tu = trace_sub.add_parser(
+        "upgrade", help="backfill the derived detection columns into a trace"
+    )
+    tu.add_argument("path")
+    tu.add_argument("--output", help="write the upgraded trace here instead "
+                    "of replacing the input atomically in place")
+
     tr = trace_sub.add_parser(
         "replay", help="replay a trace zero-copy through the streaming engine",
         parents=[_parent(_add_warmup, _add_engine, _add_telemetry)],
@@ -307,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--allow-partial", action="store_true",
                     help="replay the complete leading bins of a truncated "
                     "trace instead of failing")
+    tr.add_argument("--precomputed", action="store_true",
+                    help="exact detection straight from the trace's derived "
+                    "columns (implies --exact; derives on the fly for "
+                    "version-1 traces)")
+    tr.add_argument("--readahead", action="store_true",
+                    help="advise the kernel to page the trace in ahead of the "
+                    "replay (cold-cache variance)")
 
     quality = sub.add_parser(
         "quality", help="detection-quality harness: labeled scoring and fuzzing"
@@ -498,6 +518,7 @@ def _stream_config(args):
         sketch_width=args.sketch_width,
         exact_histograms=args.exact,
         chunk_records=args.chunk_records,
+        threads=args.threads,
     )
 
 
@@ -823,10 +844,10 @@ def _cmd_trace(args) -> int:
     if args.trace_command == "write":
         from repro.flows.binning import TimeBins
         from repro.io.trace import write_trace
-        from repro.net.topology import abilene, geant
+        from repro.net.topology import topology_by_name
         from repro.traffic.generator import TrafficGenerator
 
-        topo = abilene() if args.network == "abilene" else geant()
+        topo = topology_by_name(args.network)
         generator = TrafficGenerator(
             topo, TimeBins(n_bins=args.bins), seed=args.seed
         )
@@ -837,14 +858,35 @@ def _cmd_trace(args) -> int:
             max_records_per_od=args.max_records,
             seed=args.seed,
             bin_group=args.bin_group,
+            derive=args.derive,
         )
         elapsed = time.perf_counter() - start
         rate = info.n_records / elapsed if elapsed > 0 else float("inf")
         size_mb = info.path.stat().st_size / 1e6
+        columns = " + derived columns" if args.derive else ""
         print(
             f"wrote {info.n_records} records ({info.n_bins} bins x "
-            f"{topo.n_od_flows} OD flows, {size_mb:.1f} MB) to {info.path} "
-            f"in {elapsed:.2f}s ({rate:,.0f} records/s)"
+            f"{topo.n_od_flows} OD flows, {size_mb:.1f} MB{columns}) to "
+            f"{info.path} in {elapsed:.2f}s ({rate:,.0f} records/s)"
+        )
+        return 0
+
+    if args.trace_command == "upgrade":
+        from repro.io.trace import trace_info, upgrade_trace
+
+        before = trace_info(args.path)
+        start = time.perf_counter()
+        info = upgrade_trace(args.path, output=args.output)
+        elapsed = time.perf_counter() - start
+        if before.derived is not None:
+            print(f"{before.path} already carries the derived columns "
+                  f"(version {before.version}); nothing to do")
+            return 0
+        size_mb = info.path.stat().st_size / 1e6
+        print(
+            f"upgraded {before.path} -> {info.path} "
+            f"(version {before.version} -> {info.version}, "
+            f"{info.n_records} records, {size_mb:.1f} MB) in {elapsed:.2f}s"
         )
         return 0
 
@@ -862,6 +904,9 @@ def _cmd_trace(args) -> int:
         print(f"  bins    : {info.n_bins} x {info.bins.width:.0f}s "
               f"(start {info.bins.start:.0f})")
         print(f"  network : {info.network or 'unknown'}")
+        derived = (f" (+{len(info.derived['columns'])} derived detection "
+                   f"columns)" if info.derived else "")
+        print(f"  version : {info.version}{derived}")
         counts = info.bin_counts
         print(f"  per bin : min {int(counts.min())}, "
               f"median {int(np.median(counts))}, max {int(counts.max())}")
@@ -885,22 +930,27 @@ def _cmd_trace(args) -> int:
 
     # replay
     from repro.io.trace import TraceReader
-    from repro.net.topology import abilene, geant
+    from repro.net.topology import topology_by_name
     from repro.stream import StreamingDetectionEngine
 
-    reader = TraceReader(args.path, allow_partial=args.allow_partial)
-    network = reader.network.lower()
-    if network not in ("abilene", "geant"):
-        raise ValueError(
-            f"trace network {reader.network!r} is not a known topology"
-        )
-    topo = abilene() if network == "abilene" else geant()
+    if args.precomputed:
+        args.exact = True  # the precomputed path is exact by construction
+    reader = TraceReader(
+        args.path, allow_partial=args.allow_partial, readahead=args.readahead
+    )
+    topo = topology_by_name(reader.network)
     # Replay adopts the trace's own bin grid (recorded in the header).
     engine = StreamingDetectionEngine(
         topo, _stream_config(args),
         bin_width=reader.bins.width, start=reader.bins.start,
     )
-    mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
+    if args.precomputed:
+        mode = ("precomputed columns" if reader.has_derived
+                else "precomputed (derived on the fly)")
+    elif args.exact:
+        mode = "exact histograms"
+    else:
+        mode = f"CM sketches (w={args.sketch_width})"
     print(
         f"replaying {reader.path} ({reader.n_records} records, "
         f"{reader.n_bins} bins, {topo.name}): {mode}, "
@@ -915,10 +965,29 @@ def _cmd_trace(args) -> int:
     run_info = {"command": "trace replay", "mode": "stream",
                 "network": topo.name, "trace": str(reader.path)}
     try:
-        report, elapsed = _drive_engine(
-            topo, engine, reader.iter_chunks(args.chunk_records), args.json,
-            verb="replayed",
-        )
+        if args.precomputed:
+            start = time.perf_counter()
+            report = engine.process_precomputed(reader)
+            elapsed = time.perf_counter() - start
+            for verdict in report.detections:
+                _print_verdict(topo, verdict)
+            rate = report.n_records / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"replayed {report.n_records} records -> "
+                f"{report.n_bins_scored} scored bins in {elapsed:.2f}s "
+                f"({rate:,.0f} records/s)"
+            )
+            _print_detection_counts(report)
+            if args.json:
+                from repro.io import write_report_json
+
+                print(f"wrote "
+                      f"{write_report_json(report.to_diagnosis_report(), args.json)}")
+        else:
+            report, elapsed = _drive_engine(
+                topo, engine, reader.iter_chunks(args.chunk_records),
+                args.json, verb="replayed",
+            )
         run_info.update(n_records=report.n_records, elapsed_s=elapsed)
     finally:
         _telemetry_end(args, session, meter, run_info)

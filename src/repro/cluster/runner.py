@@ -104,6 +104,9 @@ class _WorkerSpec:
     sketch_width: int
     sketch_depth: int
     sketch_seed: int
+    #: grouped-reduction kernel threads inside the worker (bit-identical
+    #: at any value; 1 = the pinned single-threaded reference).
+    threads: int = 1
     #: run a telemetry session inside the worker and ship snapshots in
     #: the heartbeat/close messages (set when the parent's is active).
     telemetry: bool = False
@@ -167,6 +170,7 @@ def _shard_worker(spec: _WorkerSpec, conn) -> None:
             depth=spec.sketch_depth,
             sketch_seed=spec.sketch_seed,
             exact=spec.exact,
+            threads=spec.threads,
             shard_id=spec.shard_id,
         )
         # Fast-forward on resume: chunks entirely before the resume bin
@@ -384,6 +388,7 @@ def run_cluster_source(
             sketch_width=config.sketch_width,
             sketch_depth=config.sketch_depth,
             sketch_seed=config.sketch_seed,
+            threads=config.threads,
             telemetry=session is not None,
             attempt=attempt[shard_id],
             resume_bin=coordinator.resume_bin(shard_id),

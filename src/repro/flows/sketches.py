@@ -326,11 +326,22 @@ class SketchBank:
             gathered = flat_tables[flat]
             estimates = gathered.min(axis=0)
             targets = estimates + counts
-            np.maximum.at(
-                flat_tables,
-                flat.reshape(-1),
-                np.broadcast_to(targets, (self.depth, len(targets))).reshape(-1),
-            )
+            # Scatter-max without ``np.maximum.at`` (a per-element ufunc
+            # loop, by far the hottest line of sketch mode): the write
+            # value already folds in the existing counter, so a plain
+            # fancy-index store is correct wherever ``flat`` is unique.
+            # Duplicate indices (two values hashing to one counter in
+            # the same batch) are rare; the re-gather catches exactly
+            # the writes a larger duplicate clobbered and repairs those
+            # few with the slow path.  Final counters are identical to
+            # ``np.maximum.at``: max(previous, every target landing
+            # there).
+            flat_1d = flat.reshape(-1)
+            write = np.maximum(gathered, targets[None, :]).reshape(-1)
+            flat_tables[flat_1d] = write
+            clobbered = np.flatnonzero(flat_tables[flat_1d] < write)
+            if len(clobbered):
+                np.maximum.at(flat_tables, flat_1d[clobbered], write[clobbered])
             if tel.enabled():
                 # A row whose counter exceeds the min estimate is shared
                 # with some other (group, value): a hash collision the

@@ -18,6 +18,18 @@ File layout (all integers little-endian)::
                  occupy rows [index[b], index[b+1])
     then       : the nine FlowRecordBatch columns, each one contiguous
                  packed array of n_records values, in column order
+    then       : (version 2 only) five derived columns — the resolved
+                 OD index and, per feature, the record's bin-local run
+                 index in the kernel's canonical (od, value) grouped
+                 order — declared by the header's additive ``derived``
+                 table (column names, dtypes, CRCs, anonymization
+                 depth), same slab layout as the base columns
+
+The derived columns are what :mod:`repro.stream.replay` consumes to
+skip longest-prefix OD attribution and the per-bin stable sort during
+detection replay; version-1 traces stay fully readable (replay falls
+back to computing both on the fly) and :func:`upgrade_trace` /
+``repro trace upgrade`` backfills them in place.
 
 Because every column is a single contiguous slab, a reader can
 ``mmap`` the file and hand out :class:`FlowRecordBatch` chunks whose
@@ -61,26 +73,45 @@ import numpy as np
 
 from repro import telemetry as tel
 from repro.flows.binning import BIN_SECONDS, TimeBins
+from repro.flows.features import FEATURES
 from repro.flows.records import COLUMN_SPEC, FlowRecordBatch
+from repro.kernels import sort_order
 
 __all__ = [
     "TraceError",
     "TraceInfo",
     "TraceWriter",
     "TraceReader",
+    "derive_columns",
     "write_trace",
     "trace_info",
+    "upgrade_trace",
     "verify_trace",
 ]
 
 MAGIC = b"RPROTRC1"
 TRACE_VERSION = 1
+#: Traces carrying the precomputed derived columns (resolved OD index +
+#: per-feature bin-local run indices) after the base slabs.  Version-1
+#: files remain fully readable; version-2 files add the ``derived``
+#: header key the same additive way ``column_crcs`` was added.
+TRACE_VERSION_DERIVED = 2
+_SUPPORTED_VERSIONS = (TRACE_VERSION, TRACE_VERSION_DERIVED)
 
 #: Wire dtypes per column, little-endian (int64 columns -> "<i8",
 #: the timestamp column -> "<f8"), derived from the batch schema.
 _WIRE_DTYPES = tuple(
     (name, "<f8" if dtype == np.float64 else "<i8") for name, dtype in COLUMN_SPEC
 )
+
+#: Derived (precomputed) columns, stored after the base slabs: the
+#: record's resolved OD flow, then — per feature — the record's run
+#: index in its bin's canonical (od, value)-sorted grouped order
+#: (-1 for zero-packet records the kernel drops).  Replay rebuilds the
+#: kernel's exact per-bin histograms from these with one ``bincount``
+#: per feature: no longest-prefix attribution, no stable sort.
+DERIVED_COLUMNS = ("od",) + tuple(f"runid_{name}" for name in FEATURES)
+_DERIVED_DTYPES = tuple((name, "<i8") for name in DERIVED_COLUMNS)
 _ITEM_SIZE = 8
 
 #: Telemetry page-fault proxy: one probe per 4 KiB page of int64 items.
@@ -133,6 +164,12 @@ class TraceInfo:
         self.dropped_records = self.declared_records - self.n_records
         crcs = header.get("column_crcs")
         self.column_crcs = None if crcs is None else [int(c) for c in crcs]
+        self.version = int(header.get("version", TRACE_VERSION))
+        #: Derived-column header block (column table, CRCs, the
+        #: anonymization depth the run ids were computed under), or
+        #: None for version-1 traces and truncated tails that lost the
+        #: derived slabs.
+        self.derived = dict(header["derived"]) if "derived" in header else None
         grid = header["bins"]
         self.bins = TimeBins(
             n_bins=self.n_bins, width=float(grid["width"]), start=float(grid["start"])
@@ -205,6 +242,50 @@ def _pad_header(payload: bytes) -> bytes:
     return payload + b" " * pad
 
 
+def derive_columns(
+    batch: FlowRecordBatch, router, anonymization_bits: int
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Precompute one bin's derived columns: ``(ods, runids)``.
+
+    ``ods`` is the longest-prefix OD attribution the feature stage would
+    resolve for each record; ``runids[k]`` is, per record, the index of
+    the record's ``(od, anonymized value)`` run in the bin's canonical
+    grouped order for feature ``k`` — the exact order
+    :func:`repro.kernels.group_reduce` produces, so replay can rebuild
+    each feature's count runs with one ``bincount`` instead of a stable
+    sort.  Zero-packet records (dropped by the kernel) get run id -1.
+
+    ``batch`` must be one whole bin: run indices are bin-local.
+    """
+    ods = np.asarray(
+        router.resolve_ods_mixed(batch.ingress_pop, batch.dst_ip), dtype=np.int64
+    )
+    anon = batch.anonymized(anonymization_bits) if anonymization_bits else batch
+    weights = np.asarray(batch.packets, dtype=np.int64)
+    keep = weights > 0
+    all_kept = bool(keep.all())
+    kept_idx = None if all_kept else np.flatnonzero(keep)
+    runids: list[np.ndarray] = []
+    for name in FEATURES:
+        values = np.asarray(getattr(anon, name), dtype=np.int64)
+        g = ods if all_kept else ods[kept_idx]
+        v = values if all_kept else values[kept_idx]
+        order = sort_order(g, v)
+        gs, vs = g[order], v[order]
+        new_run = np.empty(len(gs), dtype=bool)
+        if len(gs):
+            new_run[0] = True
+            np.logical_or(gs[1:] != gs[:-1], vs[1:] != vs[:-1], out=new_run[1:])
+        rid_sorted = np.cumsum(new_run) - 1
+        rid = np.full(len(batch), -1, dtype=np.int64)
+        if all_kept:
+            rid[order] = rid_sorted
+        else:
+            rid[kept_idx[order]] = rid_sorted
+        runids.append(rid)
+    return ods, runids
+
+
 class TraceWriter:
     """Stream record batches into a columnar trace file.
 
@@ -230,6 +311,8 @@ class TraceWriter:
         start: float = 0.0,
         network: str = "",
         meta: dict | None = None,
+        derive: bool = False,
+        topology=None,
     ) -> None:
         if n_bins < 1:
             raise ValueError("n_bins must be >= 1")
@@ -239,6 +322,23 @@ class TraceWriter:
         self.start = float(start)
         self.network = network
         self.meta = dict(meta or {})
+        self.derive = bool(derive)
+        self._router = None
+        self._anon_bits = 0
+        #: Open bin's batches, buffered until the bin closes: run
+        #: indices are bin-local, so derivation needs the whole bin.
+        self._pending: list[FlowRecordBatch] = []
+        self._pending_bin = -1
+        if self.derive:
+            from repro.net.routing import Router
+            from repro.net.topology import topology_by_name
+
+            if topology is None:
+                topology = topology_by_name(network)
+            self.network = network or topology.name
+            self._router = Router(topology)
+            self._anon_bits = int(topology.anonymization_bits)
+        n_columns = len(_WIRE_DTYPES) + (len(_DERIVED_DTYPES) if self.derive else 0)
         self._bin_counts = np.zeros(self.n_bins, dtype=np.int64)
         self._last_bin = -1
         self._n_records = 0
@@ -247,13 +347,13 @@ class TraceWriter:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._spool_paths = [
             self.path.with_name(f".{self.path.name}.col{k}.tmp")
-            for k in range(len(_WIRE_DTYPES))
+            for k in range(n_columns)
         ]
         self._spools = [p.open("wb") for p in self._spool_paths]
         # Incremental per-column CRC32s, updated as bytes are spooled;
         # spool order equals final slab order, so these are the slab
         # checksums verify_trace() recomputes.
-        self._crcs = [0] * len(_WIRE_DTYPES)
+        self._crcs = [0] * n_columns
 
     # -- context manager -------------------------------------------------
 
@@ -301,8 +401,30 @@ class TraceWriter:
             view = memoryview(column).cast("B")
             spool.write(view)
             self._crcs[k] = zlib.crc32(view, self._crcs[k])
+        if self.derive:
+            if b != self._pending_bin:
+                self._flush_derived()
+                self._pending_bin = b
+            self._pending.append(batch)
         self._bin_counts[b] += len(batch)
         self._n_records += len(batch)
+
+    def _flush_derived(self) -> None:
+        """Derive and spool the buffered bin's od/runid columns."""
+        if not self._pending:
+            return
+        if len(self._pending) == 1:
+            batch = self._pending[0]
+        else:
+            batch = FlowRecordBatch.concat(self._pending)
+        self._pending = []
+        ods, runids = derive_columns(batch, self._router, self._anon_bits)
+        base = len(_WIRE_DTYPES)
+        for j, column in enumerate([ods, *runids]):
+            column = np.ascontiguousarray(column, dtype="<i8")
+            view = memoryview(column).cast("B")
+            self._spools[base + j].write(view)
+            self._crcs[base + j] = zlib.crc32(view, self._crcs[base + j])
 
     def abort(self) -> None:
         """Drop everything written so far (no final file is produced)."""
@@ -319,20 +441,29 @@ class TraceWriter:
                 raise ValueError("writer was aborted")
             return self.info
         self._closed = True
+        if self.derive:
+            self._flush_derived()
         for spool in self._spools:
             spool.close()
         bin_offsets = np.zeros(self.n_bins + 1, dtype="<i8")
         np.cumsum(self._bin_counts, out=bin_offsets[1:])
+        n_base = len(_WIRE_DTYPES)
         header = {
-            "version": TRACE_VERSION,
+            "version": TRACE_VERSION_DERIVED if self.derive else TRACE_VERSION,
             "n_records": self._n_records,
             "n_bins": self.n_bins,
             "bins": {"width": self.bin_width, "start": self.start},
             "columns": [{"name": n, "dtype": d} for n, d in _WIRE_DTYPES],
-            "column_crcs": [crc & 0xFFFFFFFF for crc in self._crcs],
+            "column_crcs": [crc & 0xFFFFFFFF for crc in self._crcs[:n_base]],
             "network": self.network,
             "meta": self.meta,
         }
+        if self.derive:
+            header["derived"] = {
+                "columns": [{"name": n, "dtype": d} for n, d in _DERIVED_DTYPES],
+                "crcs": [crc & 0xFFFFFFFF for crc in self._crcs[n_base:]],
+                "anonymization_bits": self._anon_bits,
+            }
         payload = _pad_header(json.dumps(header, sort_keys=True).encode())
         tmp_path = self.path.with_name(f".{self.path.name}.assembling.tmp")
         try:
@@ -391,10 +522,10 @@ def _read_header(
             except json.JSONDecodeError as exc:
                 raise TraceError(f"{path}: corrupt trace header ({exc})") from None
             version = header.get("version")
-            if version != TRACE_VERSION:
+            if version not in _SUPPORTED_VERSIONS:
                 raise TraceError(
                     f"{path}: unsupported trace version {version!r} "
-                    f"(this reader handles {TRACE_VERSION})"
+                    f"(this reader handles {_SUPPORTED_VERSIONS})"
                 )
             declared = [(c["name"], c["dtype"]) for c in header["columns"]]
             if declared != list(_WIRE_DTYPES):
@@ -402,6 +533,23 @@ def _read_header(
                     f"{path}: column table {declared} does not match the "
                     f"FlowRecordBatch schema {list(_WIRE_DTYPES)}"
                 )
+            n_derived = 0
+            if version == TRACE_VERSION_DERIVED:
+                derived = header.get("derived")
+                if not isinstance(derived, dict) or "columns" not in derived:
+                    raise TraceError(
+                        f"{path}: version-{version} trace is missing the "
+                        f"derived-column table"
+                    )
+                declared_derived = [
+                    (c["name"], c["dtype"]) for c in derived["columns"]
+                ]
+                if declared_derived != list(_DERIVED_DTYPES):
+                    raise TraceError(
+                        f"{path}: derived column table {declared_derived} does "
+                        f"not match {list(_DERIVED_DTYPES)}"
+                    )
+                n_derived = len(declared_derived)
             n_bins = int(header["n_bins"])
             n_records = int(header["n_records"])
             if n_bins < 1 or n_records < 0:
@@ -410,7 +558,8 @@ def _read_header(
             index_start = len(MAGIC) + 8 + header_len
             index_bytes = (n_bins + 1) * _ITEM_SIZE
             data_start = index_start + index_bytes
-            expected = data_start + n_records * _ITEM_SIZE * len(_WIRE_DTYPES)
+            n_columns = len(_WIRE_DTYPES) + n_derived
+            expected = data_start + n_records * _ITEM_SIZE * n_columns
             truncated = size != expected
             if truncated and not (allow_partial and data_start <= size < expected):
                 # Padded files, or truncation that ate the index itself,
@@ -442,7 +591,13 @@ def _read_header(
                 # rows into the data region) keeps the first
                 # (size - slab_start) / 8 of its rows.  Only rows
                 # present in EVERY column are usable, and only whole
-                # bins of them.
+                # bins of them.  Derived slabs sit after the base nine,
+                # so any truncation loses them first: a recovered trace
+                # always drops the derived columns and recovers the
+                # base-column prefix.
+                if n_derived:
+                    header = dict(header)
+                    header.pop("derived", None)
                 avail = [
                     max(
                         0,
@@ -490,13 +645,19 @@ class TraceReader:
     surviving rows line up exactly where the writer put them.
     """
 
-    def __init__(self, path: str | Path, allow_partial: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        allow_partial: bool = False,
+        readahead: bool = False,
+    ) -> None:
         self.path = Path(path)
         header, offsets, data_start, declared, truncated = _read_header(
             self.path, allow_partial=allow_partial
         )
         self.info = TraceInfo(self.path, header, offsets, truncated=truncated)
         self._columns: dict[str, np.ndarray] = {}
+        self._derived_columns: dict[str, np.ndarray] = {}
         #: False until this reader has completed one full chunk sweep;
         #: used to label telemetry spans cold vs warm (page-fault proxy).
         self._swept = False
@@ -509,6 +670,25 @@ class TraceReader:
                 offset=data_start + k * declared * _ITEM_SIZE,
                 shape=(n,),
             )
+        if self.info.derived is not None:
+            base = len(_WIRE_DTYPES)
+            for j, (name, dtype) in enumerate(_DERIVED_DTYPES):
+                self._derived_columns[name] = np.memmap(
+                    self.path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=data_start + (base + j) * declared * _ITEM_SIZE,
+                    shape=(n,),
+                )
+        if readahead and hasattr(os, "posix_fadvise"):
+            # Kick off sequential readahead for the whole file so a cold
+            # replay overlaps page-ins with compute instead of paying
+            # one major fault per first-touch page.
+            fd = os.open(self.path, os.O_RDONLY)
+            try:
+                os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_WILLNEED)
+            finally:
+                os.close(fd)
 
     # -- basic facts ------------------------------------------------------
 
@@ -541,6 +721,34 @@ class TraceReader:
         """One whole column as a read-only memory-mapped array."""
         return self._columns[name]
 
+    @property
+    def has_derived(self) -> bool:
+        """Whether this trace carries the precomputed derived columns."""
+        return bool(self._derived_columns)
+
+    def derived_column(self, name: str) -> np.ndarray:
+        """One derived column (``od`` or ``runid_<feature>``) as a
+        read-only memory-mapped array.
+
+        Raises:
+            KeyError: For version-1 traces (no derived columns); use
+                :func:`upgrade_trace` or re-record with ``derive=True``.
+        """
+        return self._derived_columns[name]
+
+    def read_derived_bin(self, b: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        """One bin's ``(ods, runids)`` derived columns as zero-copy views.
+
+        ``runids`` is a list in :data:`repro.flows.features.FEATURES`
+        order, matching what :func:`derive_columns` computes.
+        """
+        lo, hi = self.bin_range(b)
+        ods = self._derived_columns["od"][lo:hi]
+        runids = [
+            self._derived_columns[f"runid_{name}"][lo:hi] for name in FEATURES
+        ]
+        return ods, runids
+
     def __len__(self) -> int:
         return self.n_records
 
@@ -553,6 +761,7 @@ class TraceReader:
     def close(self) -> None:
         """Drop the column mappings (views already handed out survive)."""
         self._columns = {}
+        self._derived_columns = {}
 
     # -- slicing ----------------------------------------------------------
 
@@ -636,6 +845,7 @@ def write_trace(
     seed: int = 0,
     bin_group: int = 64,
     meta: dict | None = None,
+    derive: bool = False,
 ) -> TraceInfo:
     """Materialise a synthetic trace straight into a trace file.
 
@@ -655,6 +865,9 @@ def write_trace(
         seed: Extra stream seed mixed into each record draw.
         bin_group: Bins materialised per generation pass (memory knob).
         meta: Extra provenance merged into the header metadata.
+        derive: Also write the precomputed derived columns (resolved OD
+            index + per-feature run ids) so replay skips attribution
+            and the per-bin stable sort (trace version 2).
 
     Returns:
         The written trace's :class:`TraceInfo`.
@@ -692,9 +905,63 @@ def write_trace(
         start=generator.bins.start,
         network=generator.topology.name,
         meta=header_meta,
+        derive=derive,
+        topology=generator.topology if derive else None,
     ) as writer:
         for b, batch in zip(bins, source):
             writer.append(b, batch)
+    return writer.info
+
+
+def upgrade_trace(
+    path: str | Path, topology=None, output: str | Path | None = None
+) -> TraceInfo:
+    """Backfill the derived columns into an existing trace.
+
+    Replays the trace bin by bin through a derive-enabled
+    :class:`TraceWriter`: the nine base slabs are copied byte-identical
+    (same records, same order, same CRCs) and the od/runid slabs are
+    appended, producing a version-2 file.  In-place by default — the
+    writer assembles into a temp file and ``os.replace``\\ s it over the
+    original, so a crash never corrupts the source trace.  Already
+    upgraded traces are returned unchanged.
+
+    Args:
+        path: The trace to upgrade.
+        topology: The backbone to attribute ODs on; defaults to the
+            trace header's ``network`` looked up via
+            :func:`repro.net.topology.topology_by_name`.
+        output: Write the upgraded trace here instead of in place.
+
+    Returns:
+        The upgraded trace's :class:`TraceInfo`.
+    """
+    path = Path(path)
+    with TraceReader(path) as reader:
+        if reader.has_derived:
+            if output is not None and Path(output) != path:
+                shutil.copyfile(path, output)
+                return trace_info(output)
+            return reader.info
+        if topology is None:
+            from repro.net.topology import topology_by_name
+
+            topology = topology_by_name(reader.network)
+        target = Path(output) if output is not None else path
+        with TraceWriter(
+            target,
+            n_bins=reader.n_bins,
+            bin_width=reader.bins.width,
+            start=reader.bins.start,
+            network=reader.network,
+            meta=reader.meta,
+            derive=True,
+            topology=topology,
+        ) as writer:
+            for b in range(reader.n_bins):
+                batch = reader.read_bin(b)
+                if len(batch):
+                    writer.append(b, batch)
     return writer.info
 
 
@@ -732,10 +999,16 @@ def verify_trace(path: str | Path, chunk_bytes: int = 1 << 22) -> dict[str, dict
             f"{path}: trace has no column checksums "
             f"(written before they existed); rewrite it to verify"
         )
+    columns: list[str] = [name for name, _ in _WIRE_DTYPES]
+    stored = [int(c) for c in stored]
+    derived = header.get("derived")
+    if derived is not None:
+        columns += [c["name"] for c in derived["columns"]]
+        stored += [int(c) for c in derived["crcs"]]
     results: dict[str, dict] = {}
     slab_bytes = declared * _ITEM_SIZE
     with path.open("rb") as handle:
-        for k, (name, _) in enumerate(_WIRE_DTYPES):
+        for k, name in enumerate(columns):
             handle.seek(data_start + k * slab_bytes)
             crc = 0
             remaining = slab_bytes

@@ -12,6 +12,7 @@ from repro.kernels.grouped import (
     grouped_entropy,
     merge_histograms,
     segment_sums,
+    sort_order,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "grouped_entropy",
     "merge_histograms",
     "segment_sums",
+    "sort_order",
 ]

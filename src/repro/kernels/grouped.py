@@ -24,6 +24,8 @@ canonical histogram form the mergeable shard summaries serialize.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +39,7 @@ __all__ = [
     "group_sums",
     "merge_histograms",
     "segment_sums",
+    "sort_order",
 ]
 
 #: Bit-packing layout: key = group << 32 | value.  Usable whenever the
@@ -59,6 +62,42 @@ def _sort_order(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
         packed = (groups << _VALUE_BITS) | values
         return np.argsort(packed, kind="stable")
     return np.lexsort((values, groups))
+
+
+def sort_order(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Public alias of the kernel's stable (group, value) sort order.
+
+    The trace store persists per-record run indices derived from exactly
+    this order, so precomputed-column replay reproduces the kernel's
+    canonical run layout bit for bit.
+    """
+    return _sort_order(
+        np.asarray(groups, dtype=np.int64), np.asarray(values, dtype=np.int64)
+    )
+
+
+# -- shared thread pool for the parallel reduction path ------------------
+#
+# One process-wide pool, lazily created and grown to the largest
+# ``threads=`` request seen; numpy's argsort/reduceat release the GIL on
+# large arrays, so partitions genuinely overlap.
+
+_POOL_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _executor(workers: int) -> ThreadPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS < workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-kernel"
+            )
+            _POOL_WORKERS = workers
+        return _POOL
 
 
 @dataclass(frozen=True)
@@ -116,10 +155,95 @@ class GroupedRuns:
         return grouped_entropy(self.counts, self.starts)
 
 
+def _reduce_partition(
+    groups: np.ndarray, values: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort + reduce one partition's rows (no telemetry: runs off-thread).
+
+    Returns ``(group_ids, group_starts, run_values, counts)`` with
+    ``group_starts`` local to the partition and *without* the trailing
+    total — the stitcher offsets and terminates it.
+    """
+    order = _sort_order(groups, values)
+    g = groups[order]
+    v = values[order]
+    w = weights[order]
+    new_run = np.empty(len(g), dtype=bool)
+    new_run[0] = True
+    np.logical_or(g[1:] != g[:-1], v[1:] != v[:-1], out=new_run[1:])
+    run_starts = np.flatnonzero(new_run)
+    counts = np.add.reduceat(w, run_starts)
+    run_groups = g[run_starts]
+    run_values = v[run_starts]
+
+    new_group = np.empty(len(run_groups), dtype=bool)
+    new_group[0] = True
+    np.not_equal(run_groups[1:], run_groups[:-1], out=new_group[1:])
+    group_starts = np.flatnonzero(new_group)
+    return run_groups[group_starts], group_starts, run_values, counts
+
+
+def _group_reduce_parallel(
+    groups: np.ndarray,
+    values: np.ndarray,
+    weights: np.ndarray,
+    threads: int,
+) -> GroupedRuns:
+    """Partition rows by group range, reduce partitions on the shared
+    thread pool, stitch the CSR bundles back in canonical order.
+
+    Every group id falls in exactly one partition (the ranges are
+    disjoint and ascending) and ``np.flatnonzero`` preserves each
+    partition's original row order, so a partition's stable sort equals
+    the global stable sort restricted to its group range — the stitched
+    result is bit-identical to the single-threaded reference.
+    """
+    gmin = int(groups.min())
+    gmax = int(groups.max())
+    span = gmax - gmin + 1
+    t = min(threads, span)
+    # Group-range pivots: partition i owns groups in [edges[i-1], edges[i]).
+    edges = gmin + (span * np.arange(1, t)) // t
+    part = np.searchsorted(edges, groups, side="right")
+    with tel.span("kernel.sort"):
+        slices = []
+        for i in range(t):
+            idx = np.flatnonzero(part == i)
+            if len(idx):
+                slices.append((groups[idx], values[idx], weights[idx]))
+        pool = _executor(threads)
+        results = list(pool.map(lambda s: _reduce_partition(*s), slices))
+    with tel.span("kernel.reduceat"):
+        gid_parts: list[np.ndarray] = []
+        start_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+        run_offset = 0
+        for gids, gstarts, rvalues, rcounts in results:
+            if len(rvalues) == 0:
+                continue
+            gid_parts.append(gids)
+            start_parts.append(gstarts + run_offset)
+            value_parts.append(rvalues)
+            count_parts.append(rcounts)
+            run_offset += len(rvalues)
+        if not gid_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return GroupedRuns(empty, np.zeros(1, dtype=np.int64), empty, empty)
+        starts = np.append(np.concatenate(start_parts), run_offset).astype(np.int64)
+        return GroupedRuns(
+            np.concatenate(gid_parts),
+            starts,
+            np.concatenate(value_parts),
+            np.concatenate(count_parts),
+        )
+
+
 def group_reduce(
     groups: np.ndarray,
     values: np.ndarray,
     weights: np.ndarray | None = None,
+    threads: int = 1,
 ) -> GroupedRuns:
     """Reduce (group, value, weight) triples into :class:`GroupedRuns`.
 
@@ -130,6 +254,11 @@ def group_reduce(
             per row (pure occurrence counting).  Zero-weight rows are
             dropped — they are not part of the empirical histogram,
             matching :meth:`FeatureHistogram.add`.
+        threads: Sort/reduce partitions on this many pool threads
+            (``1``, the default, is the pinned single-threaded
+            reference).  Any value produces bit-identical output — the
+            parallel path partitions by disjoint group ranges and
+            stitches runs back in canonical order.
 
     Returns:
         The canonical sorted-run representation; counts are exact int64
@@ -153,6 +282,10 @@ def group_reduce(
     if len(groups) == 0:
         empty = np.zeros(0, dtype=np.int64)
         return GroupedRuns(empty, np.zeros(1, dtype=np.int64), empty, empty)
+
+    threads = max(1, int(threads))
+    if threads > 1:
+        return _group_reduce_parallel(groups, values, weights, threads)
 
     with tel.span("kernel.sort"):
         order = _sort_order(groups, values)

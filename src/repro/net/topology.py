@@ -23,7 +23,7 @@ import networkx as nx
 
 from repro.net.addressing import Prefix, make_ip
 
-__all__ = ["PoP", "Topology", "abilene", "geant"]
+__all__ = ["PoP", "Topology", "abilene", "geant", "topology_by_name"]
 
 
 @dataclass(frozen=True)
@@ -249,4 +249,21 @@ def geant() -> Topology:
         sampling_rate=1000,
         anonymization_bits=0,
         base_octet=62,
+    )
+
+
+def topology_by_name(name: str) -> Topology:
+    """Build a registered backbone by its (case-insensitive) name.
+
+    The lookup every consumer of a recorded artifact shares: trace
+    replay, derived-column backfill, and the CLI all resolve a trace
+    header's ``network`` field through here.
+    """
+    key = str(name).lower()
+    if key == "abilene":
+        return abilene()
+    if key == "geant":
+        return geant()
+    raise ValueError(
+        f"{name!r} is not a known topology (expected 'abilene' or 'geant')"
     )

@@ -287,12 +287,23 @@ class TraceSource(RecordSource):
         from repro.io.trace import TraceReader
 
         reader = TraceReader(self.spec.trace_path)
+        # A version-2 trace already stores the resolved OD per record;
+        # bins replay contiguously and in record order, so a running
+        # offset maps every yielded chunk onto the stored column and
+        # the whole LPM attribution pass disappears.
+        stored = reader.derived_column("od") if reader.has_derived else None
+        offset = reader.bin_range(0)[0] if self.spec.n_bins else 0
         for chunk in reader.iter_chunks(
             chunk_records=chunk_records, bins=range(self.spec.n_bins)
         ):
             # Attribution doubles as the shard filter: resolved once,
             # fed to the monitor so the stage skips its own LPM pass.
-            ods = router.resolve_ods_mixed(chunk.ingress_pop, chunk.dst_ip)
+            if stored is not None:
+                ods = np.asarray(stored[offset:offset + len(chunk)],
+                                 dtype=np.int64)
+                offset += len(chunk)
+            else:
+                ods = router.resolve_ods_mixed(chunk.ingress_pop, chunk.dst_ip)
             if n_shards > 1:
                 mask = shard_mask(ods, n_shards, shard_id)
                 if not mask.any():

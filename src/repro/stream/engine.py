@@ -80,6 +80,9 @@ class StreamConfig:
         sketch_width / sketch_depth / sketch_seed: Count-Min geometry.
         exact_histograms: Bypass sketches (exact per-value histograms).
         chunk_records: Re-chunking bound for :meth:`process`.
+        threads: Grouped-reduction kernel threads (1 = the pinned
+            single-threaded reference; any value is bit-identical, see
+            :func:`repro.kernels.group_reduce`).
     """
 
     warmup_bins: int = 288
@@ -100,6 +103,7 @@ class StreamConfig:
     sketch_seed: int = 0
     exact_histograms: bool = False
     chunk_records: int = DEFAULT_CHUNK_RECORDS
+    threads: int = 1
 
 
 class StreamingDetectionEngine:
@@ -138,6 +142,7 @@ class StreamingDetectionEngine:
             depth=cfg.sketch_depth,
             sketch_seed=cfg.sketch_seed,
             exact=cfg.exact_histograms,
+            threads=cfg.threads,
         )
         self.bank = DetectorBank(cfg, detectors=detectors)
         #: Free-form provenance copied onto the final report (scenario
@@ -254,6 +259,61 @@ class StreamingDetectionEngine:
         for chunk in self._chunks(source):
             self.ingest(chunk)
         return self.finish()
+
+    def process_precomputed(
+        self, trace: "str | Path | TraceReader", readahead: bool = False
+    ) -> StreamingReport:
+        """Run exact detection straight from a trace's derived columns.
+
+        The precomputed fast path: per-bin summaries are rebuilt from
+        the trace's stored OD/run-id columns (version 2) — no
+        longest-prefix attribution, no per-bin stable sort — and scored
+        through the same detector bank, so the report is bit-identical
+        to :meth:`process` over the same trace.  Version-1 traces work
+        too (the columns are derived on the fly per bin).
+
+        Args:
+            trace: Trace path, or an already-open
+                :class:`~repro.io.trace.TraceReader`.
+            readahead: Issue ``posix_fadvise(WILLNEED)`` on open so a
+                cold replay overlaps page-ins with compute (ignored for
+                an already-open reader).
+
+        Raises:
+            ValueError: In sketch mode — sketches hash raw feature
+                values, which the derived columns do not store.
+        """
+        from repro.io.trace import TraceReader
+        from repro.stream.replay import iter_precomputed_summaries
+
+        if not self.config.exact_histograms:
+            raise ValueError(
+                "precomputed replay requires exact_histograms=True "
+                "(sketch mode hashes raw feature values, which the "
+                "derived columns do not carry)"
+            )
+        if isinstance(trace, TraceReader):
+            reader = trace
+        else:
+            reader = TraceReader(trace, readahead=readahead)
+        reader.info.ensure_compatible(
+            network=self.topology.name,
+            bin_width=self.stage.bin_width,
+            start=self.stage.start,
+        )
+        self.meta.setdefault("source", "trace")
+        self.meta.setdefault("trace_path", str(reader.path))
+        self.meta.setdefault(
+            "replay", "precomputed" if reader.has_derived else "derive-on-read"
+        )
+        for summary in iter_precomputed_summaries(
+            reader, self.topology, router=self.stage.router
+        ):
+            self._n_records += summary.n_records
+            self.bank.observe(summary)
+        return self.bank.finish(
+            n_records=self._n_records, late_records=0, meta=self.meta
+        )
 
     def events(
         self, source: "str | Path | FlowRecordBatch | Iterable[FlowRecordBatch]"

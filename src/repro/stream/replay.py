@@ -1,0 +1,147 @@
+"""Precomputed-trace detection replay: derived columns -> bin summaries.
+
+Warm mmap replay streams records ~40x faster than the exact detection
+path consumes them; the committed telemetry shows why — the per-bin
+stable sort inside :func:`repro.kernels.group_reduce` is the single
+hottest span.  A version-2 trace (:mod:`repro.io.trace`) stores what
+that sort produces: per record, the resolved OD index and — per
+feature — the record's run index in the bin's canonical (od, value)
+grouped order.  With those columns the whole per-bin reduction
+collapses to one weighted ``bincount`` per feature (run ids are dense
+and already in canonical order), one scatter for the run -> OD map,
+and the same vectorized grouped-entropy pass the kernel uses, so the
+emitted :class:`~repro.stream.window.BinSummary` is bit-identical to
+what :class:`~repro.stream.window.StreamFeatureStage` computes from
+raw records — detections from either path match byte for byte.
+
+Version-1 traces take the same code path with the derived columns
+computed on the fly per bin (:func:`repro.io.trace.derive_columns`),
+trading the speedup for compatibility; ``repro trace upgrade``
+backfills them permanently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro import telemetry as tel
+from repro.flows.features import N_FEATURES
+from repro.io.trace import TraceReader, derive_columns
+from repro.kernels import group_sums, grouped_entropy
+from repro.net.routing import Router
+from repro.net.topology import Topology
+from repro.stream.window import BinSummary
+
+__all__ = ["bin_summary_from_derived", "iter_precomputed_summaries"]
+
+
+def bin_summary_from_derived(
+    bin_index: int,
+    ods: np.ndarray,
+    runids: list[np.ndarray],
+    packets: np.ndarray,
+    byte_counts: np.ndarray,
+    n_od_flows: int,
+) -> BinSummary:
+    """Build one bin's summary from its derived columns.
+
+    Equivalent to feeding the bin's records through an exact-mode
+    :class:`~repro.stream.window.BinAccumulator`: per feature, the run
+    ids already encode the kernel's canonical (od, value) grouped order,
+    so the count runs come from one weighted ``bincount`` (integer
+    weights sum exactly in float64), the run -> OD boundaries from one
+    scatter + diff, and the entropies from the same
+    :func:`repro.kernels.grouped_entropy` pass — identical inputs,
+    identical float arithmetic, bit-identical summary.
+    """
+    entropy = np.zeros((n_od_flows, N_FEATURES))
+    n = len(ods)
+    if n:
+        packets = np.asarray(packets)
+        # Zero-packet records carry run id -1 (the kernel drops them);
+        # the mask is shared by all four features.
+        if packets.min() == 0:
+            valid = np.asarray(runids[0]) >= 0
+            od_v = np.asarray(ods)[valid]
+            w_v = packets[valid]
+        else:
+            valid = None
+            od_v = ods
+            w_v = packets
+        for k in range(N_FEATURES):
+            rid = np.asarray(runids[k])
+            if valid is not None:
+                rid = rid[valid]
+            if not len(rid):
+                continue
+            counts = np.bincount(rid, weights=w_v)
+            od_of_run = np.zeros(len(counts), dtype=np.int64)
+            od_of_run[rid] = od_v
+            new_group = np.empty(len(counts), dtype=bool)
+            new_group[0] = True
+            np.not_equal(od_of_run[1:], od_of_run[:-1], out=new_group[1:])
+            group_starts = np.flatnonzero(new_group)
+            starts = np.append(group_starts, len(counts)).astype(np.int64)
+            entropy[od_of_run[group_starts], k] = grouped_entropy(counts, starts)
+        pk = group_sums(ods, packets, n_od_flows)
+        by = group_sums(ods, byte_counts, n_od_flows)
+    else:
+        pk = np.zeros(n_od_flows, dtype=np.int64)
+        by = np.zeros(n_od_flows, dtype=np.int64)
+    return BinSummary(
+        bin=bin_index,
+        entropy=entropy,
+        packets=pk.astype(np.float64),
+        bytes=by.astype(np.float64),
+        n_records=n,
+    )
+
+
+def iter_precomputed_summaries(
+    reader: TraceReader,
+    topology: Topology,
+    router: Router | None = None,
+) -> Iterator[BinSummary]:
+    """Yield exact-mode bin summaries straight from a trace.
+
+    Exactly the bins the record-level stage would close: from the first
+    non-empty bin through the last (gap bins in between yield empty
+    summaries; leading/trailing empty bins never close).  Version-2
+    traces whose stored anonymization depth matches the topology read
+    the derived columns zero-copy; anything else derives them on the
+    fly per bin — same summaries, minus the speedup.
+    """
+    counts = reader.info.bin_counts
+    nonempty = np.flatnonzero(counts)
+    if not len(nonempty):
+        return
+    stored = (
+        reader.has_derived
+        and int(reader.info.derived.get("anonymization_bits", -1))
+        == int(topology.anonymization_bits)
+    )
+    if not stored and router is None:
+        router = Router(topology)
+    label = "replay.derived" if stored else "replay.derive_on_read"
+    for b in range(int(nonempty[0]), int(nonempty[-1]) + 1):
+        with tel.span(label):
+            lo, hi = reader.bin_range(b)
+            if stored:
+                ods, runids = reader.read_derived_bin(b)
+            else:
+                batch = reader.read_bin(b)
+                ods, runids = derive_columns(
+                    batch, router, topology.anonymization_bits
+                )
+            summary = bin_summary_from_derived(
+                b,
+                ods,
+                runids,
+                reader.column("packets")[lo:hi],
+                reader.column("bytes")[lo:hi],
+                topology.n_od_flows,
+            )
+        tel.count("trace.records_replayed", int(hi - lo))
+        yield summary

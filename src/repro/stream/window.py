@@ -84,12 +84,14 @@ class BinAccumulator:
         depth: int = 4,
         seed: int = 0,
         exact: bool = False,
+        threads: int = 1,
     ) -> None:
         self.n_od_flows = n_od_flows
         self.width = width
         self.depth = depth
         self.seed = seed
         self.exact = exact
+        self.threads = threads
         if exact:
             #: per feature: list of (ods, values, weights) column triples
             self._parts: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
@@ -117,15 +119,20 @@ class BinAccumulator:
         if self.exact:
             self._parts[k].append((ods, values, weights))
             return
-        runs = group_reduce(ods, values, weights)
+        runs = group_reduce(ods, values, weights, threads=self.threads)
         self._banks[k].update(runs.group_ids, runs.starts, runs.values, runs.counts)
-        for i, od in enumerate(runs.group_ids):
-            entry = self._candidates.setdefault(
-                int(od), [set() for _ in range(N_FEATURES)]
-            )
+        # Localised loop state: this runs once per (chunk, feature, OD)
+        # and the attribute/str lookups were visible in profiles.
+        table = self._candidates
+        starts = runs.starts.tolist()
+        run_values = runs.values
+        for i, od in enumerate(runs.group_ids.tolist()):
+            entry = table.get(od)
+            if entry is None:
+                entry = table[od] = [set() for _ in range(N_FEATURES)]
             candidates = entry[k]
             if len(candidates) < MAX_CANDIDATES:
-                candidates.update(runs.values[runs.starts[i]:runs.starts[i + 1]].tolist())
+                candidates.update(run_values[starts[i]:starts[i + 1]].tolist())
 
     def add_batch(self, ods: np.ndarray, batch: FlowRecordBatch) -> None:
         """Add a record batch whose rows are already attributed to ODs."""
@@ -182,7 +189,7 @@ class BinAccumulator:
             ods = np.concatenate([p[0] for p in parts])
             values = np.concatenate([p[1] for p in parts])
             weights = np.concatenate([p[2] for p in parts])
-        return group_reduce(ods, values, weights)
+        return group_reduce(ods, values, weights, threads=self.threads)
 
     def sketch_state(self):
         """Sketch mode: ``(banks, candidates)`` — the four per-feature
@@ -247,6 +254,8 @@ class StreamFeatureStage:
         exact: Use exact histograms instead of sketches.
         apply_anonymization: Apply the topology's address anonymisation
             (the realistic collector default).
+        threads: Grouped-reduction kernel threads (bit-identical at any
+            value; 1 is the pinned reference).
     """
 
     topology: Topology
@@ -257,6 +266,7 @@ class StreamFeatureStage:
     sketch_seed: int = 0
     exact: bool = False
     apply_anonymization: bool = True
+    threads: int = 1
     router: Router | None = None
     _current: BinAccumulator | None = field(default=None, repr=False)
     _current_bin: int | None = field(default=None, repr=False)
@@ -273,6 +283,7 @@ class StreamFeatureStage:
             depth=self.depth,
             seed=self.sketch_seed,
             exact=self.exact,
+            threads=self.threads,
         )
 
     def ingest(

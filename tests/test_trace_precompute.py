@@ -1,0 +1,356 @@
+"""The precomputed-detection fast path and the parallel kernel.
+
+Two bit-identity contracts pin this PR's perf work:
+
+* the chunked multi-threaded :func:`repro.kernels.group_reduce` must
+  return the *same bytes* as the pinned single-threaded reference for
+  any (groups, values, weights) input, at any thread count — the
+  partition boundaries and stitch order must never leak into results;
+* exact detection replayed from a version-2 trace's derived columns
+  (:meth:`StreamingDetectionEngine.process_precomputed`) must render
+  detections byte-for-byte equal to the record-level engine — pinned
+  against the same frozen seed fixture the kernel rewrite is held to
+  (``tests/data/seed_stream_detections.json``), for stored columns
+  (v2), derive-on-read (v1), and an in-place ``upgrade_trace``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TimeBins, TrafficGenerator, abilene
+from repro.flows.features import FEATURES
+from repro.flows.records import FlowRecordBatch
+from repro.io.trace import (
+    TraceError,
+    TraceReader,
+    TraceWriter,
+    derive_columns,
+    trace_info,
+    upgrade_trace,
+    verify_trace,
+    write_trace,
+)
+from repro.kernels import group_reduce
+from repro.net.addressing import EPHEMERAL_PORT_START
+from repro.net.routing import Router
+from repro.stream import StreamConfig, StreamingDetectionEngine, synthetic_record_stream
+from repro.stream.replay import iter_precomputed_summaries
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def _bundle(runs):
+    """Every byte of a GroupedRuns result, for exact comparison."""
+    return (
+        runs.group_ids.tobytes(),
+        runs.starts.tobytes(),
+        runs.values.tobytes(),
+        runs.counts.tobytes(),
+        runs.entropies().tobytes(),
+    )
+
+
+class TestParallelKernelParity:
+    """threads=N must be byte-identical to the threads=1 reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        n_groups=st.integers(min_value=1, max_value=50),
+        n_values=st.integers(min_value=1, max_value=30),
+        threads=st.integers(min_value=2, max_value=16),
+        zero_weights=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_any_thread_count_matches_reference(
+        self, n, n_groups, n_values, threads, zero_weights, seed
+    ):
+        rng = np.random.default_rng(seed)
+        groups = rng.integers(0, n_groups, size=n)
+        values = rng.integers(0, n_values, size=n)
+        weights = rng.integers(0 if zero_weights else 1, 20, size=n)
+        reference = group_reduce(groups, values, weights)
+        parallel = group_reduce(groups, values, weights, threads=threads)
+        assert _bundle(parallel) == _bundle(reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        threads=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_wide_values_lexsort_fallback_matches(self, threads, seed):
+        # Values wide enough to overflow the packed composite key force
+        # the kernel's lexsort fallback; the partitioned path must take
+        # the identical fallback per partition.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        groups = rng.integers(0, 10, size=n)
+        values = rng.integers(0, 2**62, size=n)
+        weights = rng.integers(1, 5, size=n)
+        reference = group_reduce(groups, values, weights)
+        parallel = group_reduce(groups, values, weights, threads=threads)
+        assert _bundle(parallel) == _bundle(reference)
+
+    def test_more_threads_than_groups(self):
+        groups = np.zeros(10, dtype=np.int64)
+        values = np.arange(10, dtype=np.int64)
+        weights = np.ones(10, dtype=np.int64)
+        reference = group_reduce(groups, values, weights)
+        parallel = group_reduce(groups, values, weights, threads=32)
+        assert _bundle(parallel) == _bundle(reference)
+
+    def test_single_record_and_empty(self):
+        one = group_reduce([5], [7], [3], threads=4)
+        assert one.group_ids.tolist() == [5]
+        assert one.counts.tolist() == [3]
+        empty = group_reduce([], [], [], threads=4)
+        assert len(empty.group_ids) == 0
+
+
+def _seed_workload():
+    """The frozen fixture's exact record stream (port scan included)."""
+    fixture = json.loads((DATA_DIR / "seed_stream_detections.json").read_text())
+    wl = fixture["workload"]
+    topology = abilene()
+    bins = TimeBins(n_bins=wl["n_bins"])
+    generator = TrafficGenerator(topology, bins, seed=wl["seed"])
+    rng = np.random.default_rng(7)
+    batches = []
+    stream = synthetic_record_stream(
+        generator, range(wl["n_bins"]), max_records_per_od=wl["max_records_per_od"]
+    )
+    for b, batch in enumerate(stream):
+        if b == wl["attack"]["bin"]:
+            batch = FlowRecordBatch.concat(
+                [batch, _port_scan(topology, bins, wl["attack"], rng)]
+            ).sort_by_time()
+        batches.append(batch)
+    return wl, topology, batches
+
+
+def _port_scan(topology, bins, attack, rng):
+    # Same RNG draw order as the script that froze the fixture.
+    od = attack["od"]
+    origin, destination = topology.od_pair(od)
+    n = 1500
+    b = attack["bin"]
+    dst_port = EPHEMERAL_PORT_START + rng.permutation(n).astype(np.int64)
+    pkts = np.maximum(
+        1, rng.multinomial(int(attack["pps"] * bins.width), np.full(n, 1.0 / n))
+    )
+    timestamp = bins.bin_start(b) + rng.uniform(0, bins.width, size=n)
+    return FlowRecordBatch(
+        src_ip=np.full(n, origin.prefix.network | 0x2A, dtype=np.int64),
+        dst_ip=np.full(n, destination.prefix.network | 0x17, dtype=np.int64),
+        src_port=np.full(n, EPHEMERAL_PORT_START + 7, dtype=np.int64),
+        dst_port=dst_port,
+        protocol=np.full(n, 6, dtype=np.int64),
+        packets=pkts.astype(np.int64),
+        bytes=pkts * 40,
+        timestamp=timestamp,
+        ingress_pop=np.full(n, origin.index, dtype=np.int64),
+    )
+
+
+def _write_batches(path, wl, batches, derive):
+    with TraceWriter(
+        path, n_bins=wl["n_bins"], network="Abilene", derive=derive
+    ) as writer:
+        for b, batch in enumerate(batches):
+            writer.append(b, batch)
+    return writer.info
+
+
+def _engine(topology, wl, threads=1):
+    return StreamingDetectionEngine(
+        topology,
+        StreamConfig(
+            warmup_bins=wl["warmup_bins"],
+            n_components=6,
+            refit_every=0,
+            exact_histograms=True,
+            threads=threads,
+        ),
+    )
+
+
+def _render(wl, report):
+    detections = [
+        {
+            "bin": int(d.bin),
+            "entropy": bool(d.detected_by_entropy),
+            "volume": bool(d.detected_by_volume),
+            "ods": [int(f.od) for f in d.flows],
+            "cluster": None if d.cluster is None else int(d.cluster),
+        }
+        for d in report.detections
+    ]
+    payload = {"workload": wl, "detections": detections}
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+
+
+class TestPrecomputedReplayByteEquality:
+    """Derived-column replay must render the frozen seed detections."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return _seed_workload()
+
+    def test_stored_columns_reproduce_seed_fixture(self, workload, tmp_path):
+        wl, topology, batches = workload
+        fixture_bytes = (DATA_DIR / "seed_stream_detections.json").read_bytes()
+        path = tmp_path / "derived.trace"
+        _write_batches(path, wl, batches, derive=True)
+        report = _engine(topology, wl).process_precomputed(path)
+        assert _render(wl, report) == fixture_bytes
+        assert report.meta["replay"] == "precomputed"
+
+    def test_derive_on_read_reproduces_seed_fixture(self, workload, tmp_path):
+        wl, topology, batches = workload
+        fixture_bytes = (DATA_DIR / "seed_stream_detections.json").read_bytes()
+        path = tmp_path / "plain.trace"
+        info = _write_batches(path, wl, batches, derive=False)
+        assert info.derived is None
+        report = _engine(topology, wl).process_precomputed(path)
+        assert _render(wl, report) == fixture_bytes
+        assert report.meta["replay"] == "derive-on-read"
+
+    def test_threaded_engine_reproduces_seed_fixture(self, workload):
+        wl, topology, batches = workload
+        fixture_bytes = (DATA_DIR / "seed_stream_detections.json").read_bytes()
+        report = _engine(topology, wl, threads=4).process(iter(batches))
+        assert _render(wl, report) == fixture_bytes
+
+    def test_precomputed_summaries_match_stage_summaries(self, workload, tmp_path):
+        wl, topology, batches = workload
+        path = tmp_path / "derived.trace"
+        _write_batches(path, wl, batches, derive=True)
+        stage_engine = _engine(topology, wl)
+        summaries = []
+        for batch in batches:
+            summaries.extend(stage_engine.stage.ingest(batch))
+        summaries.extend(stage_engine.stage.flush())
+        with TraceReader(path) as reader:
+            replayed = list(iter_precomputed_summaries(reader, topology))
+        assert len(replayed) == len(summaries)
+        for fast, slow in zip(replayed, summaries):
+            assert fast.bin == slow.bin
+            assert fast.n_records == slow.n_records
+            assert fast.entropy.tobytes() == slow.entropy.tobytes()
+            assert fast.packets.tobytes() == slow.packets.tobytes()
+            assert fast.bytes.tobytes() == slow.bytes.tobytes()
+
+    def test_sketch_mode_is_rejected(self, tmp_path):
+        path = tmp_path / "any.trace"
+        write_trace(
+            path,
+            TrafficGenerator(abilene(), TimeBins(n_bins=2), seed=0),
+            max_records_per_od=5,
+        )
+        engine = StreamingDetectionEngine(abilene(), StreamConfig(warmup_bins=8))
+        with pytest.raises(ValueError, match="exact_histograms"):
+            engine.process_precomputed(path)
+
+
+class TestTraceV2Format:
+    """The derived-column trace format: round-trip, upgrade, recovery."""
+
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("v2")
+        generator = TrafficGenerator(abilene(), TimeBins(n_bins=4), seed=5)
+        v1 = tmp / "v1.trace"
+        write_trace(v1, generator, max_records_per_od=40, seed=0)
+        v2 = tmp / "v2.trace"
+        write_trace(v2, generator, max_records_per_od=40, seed=0, derive=True)
+        return v1, v2
+
+    def test_versions_and_header(self, traces):
+        v1, v2 = traces
+        i1, i2 = trace_info(v1), trace_info(v2)
+        assert (i1.version, i2.version) == (1, 2)
+        assert i1.derived is None
+        assert [c["name"] for c in i2.derived["columns"]] == ["od"] + [
+            f"runid_{name}" for name in FEATURES
+        ]
+        assert i2.derived["anonymization_bits"] == abilene().anonymization_bits
+        # Base columns are byte-identical regardless of derivation.
+        assert i1.column_crcs == i2.column_crcs
+
+    def test_derived_columns_match_on_the_fly_derivation(self, traces):
+        _, v2 = traces
+        topology = abilene()
+        router = Router(topology)
+        with TraceReader(v2) as reader:
+            assert reader.has_derived
+            for b in range(reader.n_bins):
+                stored_ods, stored_runids = reader.read_derived_bin(b)
+                ods, runids = derive_columns(
+                    reader.read_bin(b), router, topology.anonymization_bits
+                )
+                np.testing.assert_array_equal(stored_ods, ods)
+                for got, expected in zip(stored_runids, runids):
+                    np.testing.assert_array_equal(got, expected)
+
+    def test_upgrade_matches_direct_derived_write(self, traces, tmp_path):
+        v1, v2 = traces
+        upgraded = tmp_path / "upgraded.trace"
+        info = upgrade_trace(v1, output=upgraded)
+        assert info.version == 2
+        assert trace_info(upgraded).column_crcs == trace_info(v2).column_crcs
+        assert trace_info(upgraded).derived["crcs"] == (
+            trace_info(v2).derived["crcs"]
+        )
+
+    def test_upgrade_in_place_is_idempotent(self, traces, tmp_path):
+        v1, _ = traces
+        path = tmp_path / "inplace.trace"
+        path.write_bytes(v1.read_bytes())
+        first = upgrade_trace(path)
+        again = upgrade_trace(path)
+        assert first.version == again.version == 2
+        assert trace_info(path).n_records == trace_info(v1).n_records
+
+    def test_verify_covers_derived_columns(self, traces):
+        _, v2 = traces
+        results = verify_trace(v2)
+        assert set(results) >= {"od", "runid_src_port", "runid_dst_ip"}
+        assert all(r["ok"] for r in results.values())
+
+    def test_truncation_into_derived_slabs_recovers_base(self, tmp_path):
+        v2 = tmp_path / "full.trace"
+        write_trace(
+            v2,
+            TrafficGenerator(abilene(), TimeBins(n_bins=12), seed=5),
+            max_records_per_od=40,
+            seed=0,
+            derive=True,
+        )
+        full = trace_info(v2)
+        clipped = tmp_path / "clipped.trace"
+        # Cut into the derived slabs: all base columns survive intact.
+        data = v2.read_bytes()
+        clipped.write_bytes(data[: len(data) - 16])
+        with pytest.raises(TraceError):
+            trace_info(clipped)
+        recovered = trace_info(clipped, allow_partial=True)
+        assert recovered.truncated
+        assert recovered.derived is None
+        with TraceReader(clipped, allow_partial=True) as reader:
+            assert not reader.has_derived
+            assert reader.n_bins >= 1
+        # The fast path still works — it derives on the fly.
+        engine = StreamingDetectionEngine(
+            abilene(),
+            StreamConfig(warmup_bins=8, n_components=2, refit_every=0,
+                         exact_histograms=True),
+        )
+        with TraceReader(clipped, allow_partial=True) as reader:
+            report = engine.process_precomputed(reader)
+        assert report.n_records > 0
+        assert full.n_records >= report.n_records

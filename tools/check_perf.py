@@ -10,6 +10,11 @@ drop larger than the allowed fraction (default 20%):
 * **trace replay** — warm mmap replay ingest of the columnar trace
   store (``trace.json``).  Skipped with a note when no fresh
   ``trace.json`` exists (so streaming-only runs keep working);
+* **precomputed detection** — exact detection from a warm version-2
+  trace's derived columns (``trace_detect.json``): an *absolute*
+  records/s floor (``--min-detect-rate``, default 10M) plus the usual
+  relative gate once a baseline is committed.  Skipped with a note
+  when no fresh ``trace_detect.json`` exists;
 * **pipeline** — stream-mode end-to-end scenario ingest of the unified
   ``DetectionPipeline`` (``pipeline.json``, the ``baseline-diurnal``
   row).  Skipped with a note when no fresh ``pipeline.json`` exists.
@@ -52,10 +57,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 FRESH_DEFAULT = RESULTS_DIR / "streaming.json"
 TRACE_FRESH_DEFAULT = RESULTS_DIR / "trace.json"
+TRACE_DETECT_FRESH_DEFAULT = RESULTS_DIR / "trace_detect.json"
 PIPELINE_FRESH_DEFAULT = RESULTS_DIR / "pipeline.json"
 BASELINE_GIT_PATH = "benchmarks/results/streaming.json"
 TRACE_BASELINE_GIT_PATH = "benchmarks/results/trace.json"
+TRACE_DETECT_BASELINE_GIT_PATH = "benchmarks/results/trace_detect.json"
 PIPELINE_BASELINE_GIT_PATH = "benchmarks/results/pipeline.json"
+#: Absolute floor for exact detection from a warm precomputed trace
+#: (records/s median).  Unlike the relative gates this holds even when
+#: the committed baseline itself regresses; slow shared runners lower
+#: it with ``--min-detect-rate``.
+DETECT_FLOOR_DEFAULT = 10_000_000.0
 #: The pipeline gate's reference row: the clean-background scenario's
 #: stream-mode ingest (the least detection-count-sensitive number).
 PIPELINE_GATE_SCENARIO = "baseline-diurnal"
@@ -204,6 +216,32 @@ def main(argv: list[str] | None = None) -> int:
         help="committed trace baseline: 'git:HEAD' (default) or a file path",
     )
     parser.add_argument(
+        "--trace-detect-fresh",
+        default=str(TRACE_DETECT_FRESH_DEFAULT),
+        help="freshly generated trace_detect.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--trace-detect-baseline",
+        default="git:HEAD",
+        help="committed trace_detect baseline: 'git:HEAD' (default) or a "
+        "file path",
+    )
+    parser.add_argument(
+        "--min-detect-rate",
+        type=float,
+        default=DETECT_FLOOR_DEFAULT,
+        help="absolute records/s floor for exact detection from a warm "
+        f"precomputed trace (default {DETECT_FLOOR_DEFAULT:,.0f}; lower it "
+        "on slow shared runners)",
+    )
+    parser.add_argument(
+        "--telemetry-delta",
+        metavar="PATH",
+        help="also write the per-stage span delta tables (fresh vs "
+        "baseline, every benchmark that carries a stages breakdown) to "
+        "this file — pass/fail independent, meant for CI artifacts",
+    )
+    parser.add_argument(
         "--pipeline-fresh",
         default=str(PIPELINE_FRESH_DEFAULT),
         help="freshly generated pipeline.json (default: benchmarks/results/)",
@@ -231,6 +269,19 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
 
+    #: (section title, fresh stages, baseline stages) for the optional
+    #: --telemetry-delta artifact.
+    delta_sections: list[tuple[str, dict, dict]] = []
+
+    def _collect_delta(name: str, fresh_stages, base_stages) -> None:
+        if fresh_stages and base_stages:
+            delta_sections.append((name, fresh_stages, base_stages))
+
+    _collect_delta(
+        "streaming exact",
+        fresh.get("stages", {}).get("streaming_exact"),
+        baseline.get("stages", {}).get("streaming_exact"),
+    )
     ok = _gate(
         "streaming exact",
         _rate(fresh["records_per_sec"]["streaming_exact"]),
@@ -254,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
                   "gate records fresh numbers only")
             trace_base = None
         if trace_base is not None:
+            _collect_delta(
+                "trace replay (warm mmap)",
+                trace_fresh.get("stages", {}).get("replay_mmap_warm"),
+                trace_base.get("stages", {}).get("replay_mmap_warm"),
+            )
             ok &= _gate(
                 "trace replay (warm mmap)",
                 _rate(trace_fresh["records_per_sec"]["replay_mmap_warm"]),
@@ -261,6 +317,51 @@ def main(argv: list[str] | None = None) -> int:
                 args.max_regression,
                 fresh_stages=trace_fresh.get("stages", {}).get("replay_mmap_warm"),
                 base_stages=trace_base.get("stages", {}).get("replay_mmap_warm"),
+            )
+
+    detect_fresh_path = Path(args.trace_detect_fresh)
+    if not detect_fresh_path.exists():
+        print("perf gate: no fresh trace_detect.json; precomputed-detection "
+              "gate skipped (run benchmarks/bench_trace.py to enable it)")
+    else:
+        detect_fresh = json.loads(detect_fresh_path.read_text())
+        detect_rate = _rate(
+            detect_fresh["records_per_sec"]["detect_precomputed_warm"]
+        )
+        # Absolute floor first: the acceptance bar for the precomputed
+        # path, independent of whatever the baseline happens to hold.
+        floor_ok = detect_rate >= args.min_detect_rate
+        verdict = "OK" if floor_ok else "REGRESSION"
+        print(
+            f"perf gate [{verdict}]: precomputed detection "
+            f"{detect_rate:,.0f} records/s vs absolute floor "
+            f"{args.min_detect_rate:,.0f}"
+        )
+        ok &= floor_ok
+        try:
+            detect_base = _load_baseline(
+                args.trace_detect_baseline, TRACE_DETECT_BASELINE_GIT_PATH
+            )
+        except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+            print("perf gate: no committed trace_detect baseline yet; "
+                  "relative precomputed-detection gate records fresh "
+                  "numbers only")
+            detect_base = None
+        if detect_base is not None:
+            _collect_delta(
+                "precomputed detection (warm)",
+                detect_fresh.get("stages", {}).get("detect_precomputed_warm"),
+                detect_base.get("stages", {}).get("detect_precomputed_warm"),
+            )
+            ok &= _gate(
+                "precomputed detection (warm)",
+                detect_rate,
+                _rate(detect_base["records_per_sec"]["detect_precomputed_warm"]),
+                args.max_regression,
+                fresh_stages=detect_fresh.get("stages", {})
+                .get("detect_precomputed_warm"),
+                base_stages=detect_base.get("stages", {})
+                .get("detect_precomputed_warm"),
             )
 
     pipeline_fresh_path = Path(args.pipeline_fresh)
@@ -279,6 +380,11 @@ def main(argv: list[str] | None = None) -> int:
             pipeline_base = None
         if pipeline_base is not None:
             row = PIPELINE_GATE_SCENARIO
+            _collect_delta(
+                f"pipeline stream mode ({row})",
+                pipeline_fresh.get("stages", {}).get(row, {}).get("stream"),
+                pipeline_base.get("stages", {}).get(row, {}).get("stream"),
+            )
             ok &= _gate(
                 f"pipeline stream mode ({row})",
                 _rate(pipeline_fresh["records_per_sec"][row]["stream"]),
@@ -289,6 +395,20 @@ def main(argv: list[str] | None = None) -> int:
                 .get("stream"),
                 base_stages=pipeline_base.get("stages", {}).get(row, {}).get("stream"),
             )
+
+    if args.telemetry_delta:
+        sections = [
+            f"== {name} ==\n{_stage_table(fresh_stages, base_stages)}"
+            for name, fresh_stages, base_stages in delta_sections
+        ] or ["(no benchmark carried a stages breakdown on both sides)"]
+        delta_path = Path(args.telemetry_delta)
+        delta_path.parent.mkdir(parents=True, exist_ok=True)
+        delta_path.write_text(
+            "Per-stage span deltas, fresh vs committed baseline\n\n"
+            + "\n\n".join(sections)
+            + "\n"
+        )
+        print(f"wrote telemetry delta: {delta_path}")
     return 0 if ok else 1
 
 
