@@ -333,8 +333,12 @@ def test_cluster_on_shared_trace(tmp_path):
     generator = TrafficGenerator(
         abilene(), TimeBins(n_bins=CLUSTER_N_BINS), seed=CLUSTER_SEED
     )
+    # Version-2 trace: the stored OD column replaces each worker's
+    # longest-prefix attribution pass — this (with the disjoint OD
+    # split) is what removed the historical 2-worker inversion.
     info = write_trace(
-        path, generator, max_records_per_od=CLUSTER_MAX_RECORDS, seed=CLUSTER_SEED
+        path, generator, max_records_per_od=CLUSTER_MAX_RECORDS,
+        seed=CLUSTER_SEED, derive=True,
     )
     config = StreamConfig(
         warmup_bins=CLUSTER_WARMUP,

@@ -125,9 +125,11 @@ def _add_engine(parser) -> None:
                         help="exact histograms instead of Count-Min sketches")
     parser.add_argument("--refit-every", type=int, default=12,
                         help="clean bins between model refits (0 freezes)")
-    parser.add_argument("--threads", type=int, default=1,
+    parser.add_argument("--threads", type=int, default=None,
                         help="grouped-reduction kernel threads (any value is "
-                        "bit-identical to the single-threaded reference)")
+                        "bit-identical to the single-threaded reference; "
+                        "default 1, except cluster workers which auto-size "
+                        "to cpus // shards)")
     parser.add_argument("--alpha", type=float, default=0.999)
     parser.add_argument("--components", type=int, default=10)
     parser.add_argument("--json", help="export the diagnosis-report JSON here")
@@ -135,9 +137,22 @@ def _add_engine(parser) -> None:
 
 def _add_cluster_knobs(parser) -> None:
     parser.add_argument("--shards", type=int, default=2,
-                        help="worker processes (each owns an OD-flow slice)")
+                        help="worker processes (each owns an OD-flow slice "
+                        "or, on a shared trace, a row stripe)")
     parser.add_argument("--queue-depth", type=int, default=16,
                         help="in-flight summaries bound (back-pressure)")
+    parser.add_argument("--transport", choices=("pipe", "tcp"),
+                        default="pipe",
+                        help="worker links: local multiprocessing pipes "
+                        "(default) or framed TCP sockets")
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        help="with --transport tcp: bind here and wait for "
+                        "external `repro worker --connect` processes "
+                        "instead of spawning local ones")
+    parser.add_argument("--tiers", metavar="AxB",
+                        help="aggregator tier layout: A aggregators each "
+                        "tree-merging B workers (A*B shards total; "
+                        "overrides --shards)")
 
 
 def _add_resilience(parser) -> None:
@@ -248,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "(instead of per-worker record generation)")
     _add_cluster_knobs(cluster)
     _add_resilience(cluster)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve shard work to a remote `repro cluster --listen` coordinator",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address announced by "
+                        "`repro cluster --transport tcp --listen`")
+    worker.add_argument("--once", action="store_true",
+                        help="exit after serving one shard assignment "
+                        "(default: reconnect and serve until the "
+                        "coordinator goes away)")
 
     run = sub.add_parser(
         "run", help="run a registered scenario in any deployment mode",
@@ -518,7 +545,7 @@ def _stream_config(args):
         sketch_width=args.sketch_width,
         exact_histograms=args.exact,
         chunk_records=args.chunk_records,
-        threads=args.threads,
+        threads=args.threads or 1,
     )
 
 
@@ -666,18 +693,28 @@ def _cmd_cluster(args) -> int:
     topo = abilene() if args.network == "abilene" else geant()
     n_bins = args.warmup_bins + args.live_bins
     config = _stream_config(args)
+    n_workers = args.shards
+    layout = "flat"
+    if args.tiers:
+        from repro.cluster import parse_tiers
+
+        n_aggs, fan_in = parse_tiers(args.tiers)
+        n_workers = n_aggs * fan_in
+        layout = f"{n_aggs} aggregators x {fan_in} workers"
     mode = "exact histograms" if args.exact else f"CM sketches (w={args.sketch_width})"
     origin = f"shared trace {args.trace}" if args.trace else "per-worker synthesis"
     print(
-        f"clustering {topo.name}: {args.shards} shards x "
-        f"{(topo.n_od_flows + args.shards - 1) // args.shards} OD flows, "
-        f"{n_bins} bins, {mode}, warm-up {args.warmup_bins} bins, "
-        f"source: {origin}"
+        f"clustering {topo.name}: {n_workers} shards ({layout}, "
+        f"{args.transport} transport), {n_bins} bins, {mode}, "
+        f"warm-up {args.warmup_bins} bins, source: {origin}"
     )
+    if args.listen:
+        print(f"awaiting workers on {args.listen} "
+              f"(start them with: repro worker --connect HOST:PORT)")
 
     session, meter = _telemetry_begin(args, total_bins=n_bins)
     run_info = {"command": "cluster", "mode": "cluster", "network": args.network,
-                "n_shards": args.shards}
+                "n_shards": n_workers}
     try:
         result = run_cluster(
             network=args.network,
@@ -693,6 +730,10 @@ def _cmd_cluster(args) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             chaos=args.chaos,
+            transport=args.transport,
+            listen=args.listen,
+            tiers=args.tiers,
+            worker_threads=args.threads,
         )
         run_info.update({"n_records": result.n_records,
                          "elapsed_s": result.elapsed})
@@ -713,6 +754,17 @@ def _cmd_cluster(args) -> int:
         from repro.io import write_report_json
 
         print(f"wrote {write_report_json(report.to_diagnosis_report(), args.json)}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.cluster.transport import parse_hostport, serve
+
+    host, port = parse_hostport(args.connect)
+    print(f"connecting to coordinator at {host}:{port}"
+          + (" (single shard)" if args.once else ""))
+    served = serve((host, port), once=args.once)
+    print(f"served {served} shard assignment(s)")
     return 0
 
 
@@ -795,6 +847,13 @@ def _cmd_run(args) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             chaos=args.chaos,
+            transport=args.transport,
+            listen=args.listen,
+            tiers=args.tiers,
+            # --threads also configures in-process kernels for
+            # batch/stream modes; only cluster mode treats it as a
+            # per-worker override.
+            worker_threads=args.threads if args.mode == "cluster" else None,
         )
         run_info.update({"n_records": result.n_records,
                          "elapsed_s": result.elapsed})
@@ -1166,6 +1225,7 @@ def main(argv: list[str] | None = None) -> int:
         "inject": _cmd_inject,
         "stream": _cmd_stream,
         "cluster": _cmd_cluster,
+        "worker": _cmd_worker,
         "run": _cmd_run,
         "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,

@@ -13,12 +13,19 @@ diagnosis as one process reading the whole trace.
   ingestion stage.
 * :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`, the
   bin-aligned central merge point.
+* :mod:`repro.cluster.transport` — :class:`SummaryTransport`
+  implementations: per-worker pipes and framed TCP sockets
+  (``repro worker --connect`` for off-box workers).
+* :mod:`repro.cluster.aggregator` — :class:`TierMerge`, the
+  order-invariant tree-merge behind declarative aggregator tiers
+  (``--tiers AxB``), keeping coordinator fan-in flat as shards grow.
 * :mod:`repro.cluster.runner` — :func:`run_cluster`, the
   ``multiprocessing`` driver behind the ``repro cluster`` command, and
   its shard supervisor (restarts, deadlines, checkpoint/resume,
   degraded completion — see :mod:`repro.resilience`).
 """
 
+from repro.cluster.aggregator import AggregatorSpec, TierMerge, parse_tiers
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.runner import (
     ClusterResult,
@@ -28,14 +35,29 @@ from repro.cluster.runner import (
 )
 from repro.cluster.shard import ShardMonitor
 from repro.cluster.summary import ShardBinSummary, SummaryCorruptError, merge_summaries
+from repro.cluster.transport import (
+    FrameError,
+    PipeTransport,
+    SummaryTransport,
+    TcpTransport,
+    parse_hostport,
+)
 
 __all__ = [
+    "AggregatorSpec",
     "ClusterCoordinator",
     "ClusterResult",
+    "FrameError",
+    "PipeTransport",
     "ShardBinSummary",
     "ShardMonitor",
     "SummaryCorruptError",
+    "SummaryTransport",
+    "TcpTransport",
+    "TierMerge",
     "merge_summaries",
+    "parse_hostport",
+    "parse_tiers",
     "run_cluster",
     "run_cluster_source",
     "shard_ods",

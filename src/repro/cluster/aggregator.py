@@ -1,0 +1,151 @@
+"""Hierarchical tree-merge: aggregator tiers between workers and the
+coordinator.
+
+A flat cluster is a star: N workers ship every bin's summary straight
+to one coordinator, whose merge work — and inbound byte rate — grows
+O(N).  That hub is exactly the saturation point scale-free-network
+analyses warn about.  Because :class:`ShardBinSummary`'s merge is
+associative and commutative (and byte-canonical in exact mode), the
+reduction can instead run as a tree: an *aggregator* merges its K
+children's summaries per bin and forwards **one** summary upstream, so
+the coordinator sees fan-in K regardless of total worker count and the
+reduction depth is O(log N).
+
+Tier layout is declarative: ``--tiers 4x4`` runs 4 aggregators with 4
+workers each (16 shards total); the coordinator supervises the 4
+aggregators exactly as it would supervise 4 plain workers.  Faults
+inside a subtree (a dead child, a corrupt child payload) surface as
+that aggregator's fault, and the supervisor restarts the whole subtree
+— determinism makes the recompute bit-identical, and the coordinator's
+reopened-shard dedup drops any re-delivered bins.
+
+:class:`TierMerge` is the pure, transport-free core: feed it child
+summaries in any interleaving (each child's own bins arrive in order,
+as workers emit them) and it yields merged summaries in bin order,
+byte-identical regardless of arrival order — the property the
+hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.summary import ShardBinSummary, merge_summaries
+
+__all__ = ["AggregatorSpec", "TierMerge", "parse_tiers"]
+
+
+def parse_tiers(spec) -> tuple[int, int]:
+    """Parse a declarative tier layout.
+
+    ``"AxB"`` means A aggregators with B workers each (A*B shards
+    total).  A 2-tuple passes through unchanged.
+
+    Raises:
+        ValueError: Malformed spec or non-positive dimensions.
+    """
+    if isinstance(spec, tuple):
+        shape = spec
+    else:
+        parts = str(spec).lower().replace("×", "x").split("x")
+        if len(parts) != 2:
+            raise ValueError(
+                f"tier layout must look like 'AxB' (A aggregators x B "
+                f"workers each), got {spec!r}"
+            )
+        try:
+            shape = (int(parts[0]), int(parts[1]))
+        except ValueError:
+            raise ValueError(f"tier layout must be two integers, got {spec!r}")
+    n_aggregators, fan_in = shape
+    if n_aggregators < 1 or fan_in < 1:
+        raise ValueError(
+            f"tier dimensions must be >= 1, got {n_aggregators}x{fan_in}"
+        )
+    return int(n_aggregators), int(fan_in)
+
+
+@dataclass(frozen=True)
+class AggregatorSpec:
+    """Everything an aggregator process needs (picklable).
+
+    ``children`` are ordinary worker specs with *global* shard ids —
+    the aggregator adds no sharding semantics of its own, it only
+    merges.  ``shard_id`` is this aggregator's id on the upstream link
+    (the coordinator supervises aggregators as if they were shards).
+    """
+
+    children: tuple
+    shard_id: int
+    attempt: int = 0
+    telemetry: bool = False
+    #: transport for the aggregator's own children ("pipe" or "tcp").
+    child_transport: str = "pipe"
+    start_method: str | None = None
+
+
+class TierMerge:
+    """Order-invariant per-bin merge of K children's summary streams.
+
+    Mirrors the coordinator's alignment rule without an engine: a bin
+    is merged once every still-open child has reported a bin >= it
+    (each child ships bins in increasing order, so nothing for that
+    bin can still be in flight).  Closed children stop gating.  A bin
+    no child ever shipped is simply not emitted — children emit
+    contiguous bins, so that only happens past every child's close,
+    where the coordinator's own gap handling takes over.
+    """
+
+    def __init__(self, child_ids) -> None:
+        self._all = set(child_ids)
+        if not self._all:
+            raise ValueError("an aggregator needs at least one child")
+        self._open = set(self._all)
+        self._highwater: dict[int, int] = {c: -1 for c in self._all}
+        self._pending: dict[int, dict[int, ShardBinSummary]] = {}
+        self._emitted_through = -1
+
+    @property
+    def done(self) -> bool:
+        """Every child closed and every pending bin emitted."""
+        return not self._open and not self._pending
+
+    def add_serialized(self, child_id: int, payload: bytes):
+        """Decode and add one wire summary (raises
+        :class:`~repro.cluster.summary.SummaryCorruptError` on a bad
+        CRC, which the aggregator surfaces as its own fault)."""
+        return self.add_summary(child_id, ShardBinSummary.from_bytes(payload))
+
+    def add_summary(self, child_id: int, summary: ShardBinSummary):
+        """Add one child summary; return merged summaries now ready,
+        in bin order."""
+        if child_id not in self._all:
+            raise ValueError(f"unknown child {child_id}")
+        if summary.bin <= self._emitted_through:
+            raise ValueError(
+                f"child {child_id} re-delivered bin {summary.bin} after "
+                f"the tier emitted through bin {self._emitted_through}"
+            )
+        self._highwater[child_id] = max(
+            self._highwater[child_id], summary.bin
+        )
+        self._pending.setdefault(summary.bin, {})[child_id] = summary
+        return self._drain()
+
+    def close_child(self, child_id: int):
+        """Mark a child finished; return any merges it was gating."""
+        if child_id not in self._all:
+            raise ValueError(f"unknown child {child_id}")
+        self._open.discard(child_id)
+        return self._drain()
+
+    def _drain(self) -> list[ShardBinSummary]:
+        merged: list[ShardBinSummary] = []
+        while self._pending:
+            target = min(self._pending)
+            if any(self._highwater[c] < target for c in self._open):
+                break
+            group = self._pending.pop(target)
+            self._emitted_through = target
+            merged.append(merge_summaries(group.values()))
+        return merged

@@ -48,11 +48,17 @@ recomputing; ``chaos=`` injects a deterministic
 :class:`repro.resilience.FaultPlan` at the workers' ship points for
 tests and the CI chaos-smoke job.
 
-Transport notes: each worker writes to its *own* pipe, so killing one
-worker can never wedge another (a shared queue's write lock dies with
-whoever holds it), and the parent always observes a worker's messages
-*in order, before* the pipe's EOF — a worker whose ``close`` is still
-in flight when it exits is drained, not misreported as a crash.
+Transport (``repro.cluster.transport``): each worker gets its *own*
+link — a ``multiprocessing.Pipe`` or a framed TCP socket — so killing
+one worker can never wedge another (a shared queue's write lock dies
+with whoever holds it), and the parent always observes a worker's
+messages *in order, before* the link's EOF — a worker whose ``close``
+is still in flight when it exits is drained, not misreported as a
+crash.  With ``transport="tcp"`` workers may live on other machines
+(``repro worker --connect``); with ``tiers="AxB"`` an aggregator tier
+(``repro.cluster.aggregator``) tree-merges each B-worker subtree
+before one summary per bin goes upstream, keeping coordinator fan-in
+flat as shard counts grow.
 """
 
 from __future__ import annotations
@@ -61,14 +67,20 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Callable
 
 from repro import telemetry as tel
+from repro.cluster.aggregator import AggregatorSpec, TierMerge, parse_tiers
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.shard import ShardMonitor
 from repro.cluster.summary import SummaryCorruptError
+from repro.cluster.transport import (
+    PipeTransport,
+    SummaryTransport,
+    TcpTransport,
+    parse_hostport,
+)
 from repro.pipeline.bank import DEFAULT_DETECTORS
 from repro.pipeline.sources import (
     RecordSource,
@@ -92,6 +104,18 @@ from repro.stream.engine import StreamConfig, StreamDetection, StreamingDetectio
 __all__ = ["ClusterResult", "run_cluster", "run_cluster_source", "shard_ods"]
 
 
+def _process_cpus() -> int:
+    """CPUs available to this process (3.13's process_cpu_count, with
+    an affinity-aware fallback for older interpreters)."""
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        return getter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 @dataclass(frozen=True)
 class _WorkerSpec:
     """Everything a worker needs to rebuild its shard (picklable)."""
@@ -107,6 +131,13 @@ class _WorkerSpec:
     #: grouped-reduction kernel threads inside the worker (bit-identical
     #: at any value; 1 = the pinned single-threaded reference).
     threads: int = 1
+    #: exact-mode trace workers read contiguous per-bin row stripes
+    #: instead of masking their OD slice.  Off by default: stripes give
+    #: every shard the full OD set with near-complete distinct-value
+    #: histograms, which roughly doubles summary bytes and merge work —
+    #: measured slower end-to-end than the disjoint OD split even
+    #: though the reads themselves are ~20x cheaper.
+    stripe: bool = False
     #: run a telemetry session inside the worker and ship snapshots in
     #: the heartbeat/close messages (set when the parent's is active).
     telemetry: bool = False
@@ -185,6 +216,12 @@ def _shard_worker(spec: _WorkerSpec, conn) -> None:
                 spec.n_shards,
                 router=monitor.router,
                 chunk_records=spec.chunk_records,
+                # Exact merge is canonical under *any* record partition,
+                # so ``stripe`` may hand trace workers contiguous row
+                # stripes; the spec builder clears it in sketch mode
+                # (striping would split an OD's records across
+                # conservative-update sketches).
+                stripe=spec.stripe,
             ),
             "stage.source",
         )
@@ -220,6 +257,111 @@ def _shard_worker(spec: _WorkerSpec, conn) -> None:
             pass  # parent already faulted this attempt and closed up
     finally:
         conn.close()
+
+
+def _aggregator_worker(spec: AggregatorSpec, conn) -> None:
+    """Aggregator entry point: run K children, tree-merge, forward.
+
+    Supervision is all-or-nothing inside the subtree: any child fault
+    (death before close, corrupt payload, raised exception) becomes
+    this aggregator's error, and the parent supervisor restarts or
+    degrades the whole subtree — the deterministic sources make the
+    recompute bit-identical, and the coordinator's reopened-shard
+    dedup absorbs re-delivered bins.
+    """
+    session = tel.enable() if spec.telemetry else None
+    # Aggregators run non-daemon (they have children), so a supervisor
+    # terminate() must still tear the subtree down: turn SIGTERM into
+    # SystemExit so the ``finally`` below reaches link.shutdown().
+    import signal
+
+    def _terminate(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    context = multiprocessing.get_context(spec.start_method)
+    if spec.child_transport == "tcp":
+        link: SummaryTransport = TcpTransport(context=context)
+    else:
+        link = PipeTransport(entry=_unit_main, context=context)
+    tier = TierMerge([child.shard_id for child in spec.children])
+    open_children = {child.shard_id for child in spec.children}
+    child_records: dict[int, int] = {}
+    late_records = 0
+
+    def ship(merged) -> None:
+        # The receiver counts each link's bytes (the coordinator counts
+        # this payload on arrival), so only span the send here — else
+        # merged snapshots would tally the upstream link twice.
+        payload = merged.to_bytes()
+        with tel.span("stage.ship"):
+            conn.send(("summary", spec.shard_id, spec.attempt, payload,
+                       _heartbeat(session)))
+
+    try:
+        for child in spec.children:
+            link.launch(child)
+        while open_children:
+            for message in link.poll(1.0):
+                kind = message[0]
+                if kind == "eof":
+                    if message[1] in open_children:
+                        raise RuntimeError(
+                            f"child shard {message[1]} died with exit code "
+                            f"{message[2]} before closing its stream"
+                        )
+                    continue
+                if kind == "frame_error":
+                    raise SummaryCorruptError(
+                        f"child shard {message[1]}: {message[2]}"
+                    )
+                if kind == "error":
+                    raise RuntimeError(
+                        f"child shard {message[1]} failed:\n{message[3]}"
+                    )
+                child_id = message[1]
+                if kind == "summary":
+                    tel.count("cluster.bytes_shipped", len(message[3]))
+                    tel.count(f"cluster.link{child_id}.bytes", len(message[3]))
+                    # A corrupt child payload raises SummaryCorruptError
+                    # here and surfaces as this aggregator's fault.
+                    with tel.span("stage.merge"):
+                        merged = tier.add_serialized(child_id, message[3])
+                    for summary in merged:
+                        ship(summary)
+                elif kind == "close":
+                    child_records[child_id] = message[3]
+                    late_records += message[4]
+                    if session is not None:
+                        session.add_shard(child_id, message[5])
+                    open_children.discard(child_id)
+                    for summary in tier.close_child(child_id):
+                        ship(summary)
+        snapshot = session.snapshot() if session is not None else None
+        conn.send(("close", spec.shard_id, spec.attempt, child_records,
+                   late_records, snapshot))
+    except Exception as exc:
+        import traceback
+
+        try:
+            conn.send(("error", spec.shard_id, spec.attempt,
+                       f"{exc!r}\n{traceback.format_exc()}"))
+        except OSError:
+            pass  # parent already faulted this attempt and closed up
+    finally:
+        link.shutdown()
+        conn.close()
+
+
+def _unit_main(spec, conn) -> None:
+    """Process entry shared by every transport: dispatch on spec type."""
+    if isinstance(spec, AggregatorSpec):
+        _aggregator_worker(spec, conn)
+    else:
+        _shard_worker(spec, conn)
 
 
 @dataclass
@@ -267,6 +409,11 @@ def run_cluster_source(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     chaos: FaultPlan | str | None = None,
+    transport: str = "pipe",
+    listen: str | tuple[str, int] | None = None,
+    tiers: str | tuple[int, int] | None = None,
+    worker_threads: int | None = None,
+    stripe: bool = False,
 ) -> ClusterResult:
     """Run the sharded pipeline over any :class:`RecordSource`.
 
@@ -274,7 +421,7 @@ def run_cluster_source(
         source: The record source (or its picklable spec).  Its bin
             grid and topology configure the engine and every shard
             monitor.
-        n_shards: Worker process count (>= 1).
+        n_shards: Worker process count (>= 1); overridden by ``tiers``.
         config: Engine knobs; ``exact_histograms``, sketch geometry and
             ``chunk_records`` also shape the shard monitors.
         queue_depth: Legacy transport knob, still validated for
@@ -298,6 +445,23 @@ def run_cluster_source(
             workers, restarting the run from the last closed bin.
         chaos: Deterministic fault plan (or its ``--chaos`` spec
             string) injected at the workers' ship points.
+        transport: ``"pipe"`` (local multiprocessing, the default) or
+            ``"tcp"`` (framed sockets; loopback self-spawned workers
+            unless ``listen`` is given).
+        listen: ``"HOST:PORT"`` to bind and wait for external
+            ``repro worker --connect`` processes instead of spawning
+            local ones (TCP only).
+        tiers: Declarative aggregator layout ``"AxB"`` — A aggregator
+            processes each tree-merging B workers (A*B shards total,
+            coordinator fan-in A).  Overrides ``n_shards``.
+        worker_threads: Grouped-reduction threads inside each worker;
+            None auto-sizes to ``cpus // n_shards`` (at least 1)
+            unless ``config.threads`` was set explicitly.
+        stripe: Exact-mode trace workers take contiguous per-bin row
+            stripes instead of masking their OD slice (byte-identical
+            detections either way).  Ignored in sketch mode.  Off by
+            default — see :class:`_WorkerSpec.stripe` for the measured
+            trade-off.
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
@@ -308,6 +472,13 @@ def run_cluster_source(
         raise ValueError("queue_depth must be >= 1")
     if resume and checkpoint is None:
         raise ValueError("resume requires a checkpoint path")
+    if transport not in ("pipe", "tcp"):
+        raise ValueError(f"unknown transport {transport!r} (pipe or tcp)")
+    if listen is not None and transport != "tcp":
+        raise ValueError("--listen requires --transport tcp")
+    tier_shape = parse_tiers(tiers) if tiers is not None else None
+    if tier_shape is not None:
+        n_shards = tier_shape[0] * tier_shape[1]
     if isinstance(source, SourceSpec):
         source = build_source(source)
     n_bins = source.spec.n_bins
@@ -315,6 +486,24 @@ def run_cluster_source(
         raise ValueError("source must cover at least one bin")
     config = config or StreamConfig()
     policy = resilience or ResiliencePolicy()
+    cpus = _process_cpus()
+    if worker_threads is None:
+        # Auto-size the grouped-reduction kernel: split the CPUs the
+        # process may use across workers (an explicitly configured
+        # engine thread count wins).
+        worker_threads = (
+            config.threads if config.threads != 1
+            else max(1, cpus // n_shards)
+        )
+    if worker_threads < 1:
+        raise ValueError("worker threads must be >= 1")
+    if worker_threads > 1 and worker_threads * n_shards > 2 * cpus:
+        raise ValueError(
+            f"--threads {worker_threads} across {n_shards} worker shard(s) "
+            f"oversubscribes the {cpus} available CPU(s); omit --threads "
+            f"to auto-size (cpus // shards) or use at most "
+            f"{max(1, 2 * cpus // n_shards)}"
+        )
     if isinstance(chaos, str):
         chaos = FaultPlan.parse(chaos)
     if chaos is not None:
@@ -333,10 +522,17 @@ def run_cluster_source(
         detectors=detectors,
     )
     engine.meta.update(source.provenance)
-    engine.meta.update({"mode": "cluster", "n_shards": int(n_shards)})
+    engine.meta.update({"mode": "cluster", "n_shards": int(n_shards),
+                        "transport": transport})
+    if tier_shape is not None:
+        engine.meta["tiers"] = f"{tier_shape[0]}x{tier_shape[1]}"
     engine.meta.update(meta or {})
-    coordinator = ClusterCoordinator(engine, shard_ids=range(n_shards))
+    # The coordinator supervises *units*: plain workers when flat, one
+    # aggregator per subtree when tiered (fan-in A instead of A*B).
+    n_units = tier_shape[0] if tier_shape is not None else n_shards
+    coordinator = ClusterCoordinator(engine, shard_ids=range(n_units))
     session = tel.active()
+    tel.gauge("cluster.merge_depth", 2 if tier_shape is not None else 1)
 
     # -- checkpoint: replay, then attach the spill hook (in that order:
     # attaching first would re-append every replayed bin).
@@ -361,60 +557,67 @@ def run_cluster_source(
         coordinator.on_bin_merged = _spill
 
     context = multiprocessing.get_context(start_method)
+    if transport == "tcp":
+        bind = parse_hostport(listen) if isinstance(listen, str) else listen
+        link: SummaryTransport = TcpTransport(
+            context=context, listen=bind, spawn_local=listen is None
+        )
+    else:
+        link = PipeTransport(entry=_unit_main, context=context)
 
-    # -- supervisor state
-    procs: dict[int, multiprocessing.Process] = {}
-    conns: dict[int, mp_connection.Connection] = {}
-    conn_shard: dict[mp_connection.Connection, int] = {}
-    attempt: dict[int, int] = {s: 0 for s in range(n_shards)}
+    # -- supervisor state (keyed by unit: worker shard or aggregator)
+    attempt: dict[int, int] = {s: 0 for s in range(n_units)}
     health: dict[int, ShardHealth] = {
-        s: ShardHealth(shard_id=s) for s in range(n_shards)
+        s: ShardHealth(shard_id=s) for s in range(n_units)
     }
     restart_due: dict[int, float] = {}
     last_progress: dict[int, float] = {}
-    open_shards = set(range(n_shards))
+    open_shards = set(range(n_units))
     shard_records: dict[int, int] = {}
     degraded = False
     total_restarts = 0
     start = time.perf_counter()
 
-    def spawn(shard_id: int) -> None:
-        spec = _WorkerSpec(
-            source=source.spec,
-            shard_id=shard_id,
-            n_shards=n_shards,
-            chunk_records=config.chunk_records,
-            exact=config.exact_histograms,
-            sketch_width=config.sketch_width,
-            sketch_depth=config.sketch_depth,
-            sketch_seed=config.sketch_seed,
-            threads=config.threads,
-            telemetry=session is not None,
-            attempt=attempt[shard_id],
-            resume_bin=coordinator.resume_bin(shard_id),
-            chaos=chaos,
-        )
-        reader, writer_end = context.Pipe(duplex=False)
-        proc = context.Process(
-            target=_shard_worker, args=(spec, writer_end), daemon=True
-        )
-        proc.start()
-        # Close the parent's copy of the write end *now*: the pipe's
-        # EOF fires when the last writer closes, and must not wait on
-        # this process (or later-forked siblings, which never inherit
-        # an already-closed fd).
-        writer_end.close()
-        procs[shard_id] = proc
-        conns[shard_id] = reader
-        conn_shard[reader] = shard_id
-        last_progress[shard_id] = time.perf_counter()
-        health[shard_id].status = "running"
+    def build_spec(unit_id: int):
+        unit_attempt = attempt[unit_id]
+        resume_from = coordinator.resume_bin(unit_id)
 
-    def drop_conn(shard_id: int) -> None:
-        reader = conns.pop(shard_id, None)
-        if reader is not None:
-            conn_shard.pop(reader, None)
-            reader.close()
+        def worker_spec(shard_id: int) -> _WorkerSpec:
+            return _WorkerSpec(
+                source=source.spec,
+                shard_id=shard_id,
+                n_shards=n_shards,
+                chunk_records=config.chunk_records,
+                exact=config.exact_histograms,
+                sketch_width=config.sketch_width,
+                sketch_depth=config.sketch_depth,
+                sketch_seed=config.sketch_seed,
+                threads=worker_threads,
+                stripe=stripe and config.exact_histograms,
+                telemetry=session is not None,
+                attempt=unit_attempt,
+                resume_bin=resume_from,
+                chaos=chaos,
+            )
+
+        if tier_shape is None:
+            return worker_spec(unit_id)
+        fan_in = tier_shape[1]
+        return AggregatorSpec(
+            children=tuple(
+                worker_spec(unit_id * fan_in + j) for j in range(fan_in)
+            ),
+            shard_id=unit_id,
+            attempt=unit_attempt,
+            telemetry=session is not None,
+            child_transport=transport,
+            start_method=start_method,
+        )
+
+    def spawn(unit_id: int) -> None:
+        link.launch(build_spec(unit_id))
+        last_progress[unit_id] = time.perf_counter()
+        health[unit_id].status = "running"
 
     def emit(verdicts: list[StreamDetection]) -> None:
         if on_detection is not None:
@@ -441,11 +644,7 @@ def run_cluster_source(
         tel.count("resilience.faults")
         record = health[shard_id]
         record.record_fault(reason)
-        drop_conn(shard_id)
-        proc = procs.pop(shard_id, None)
-        if proc is not None and proc.is_alive():
-            proc.terminate()
-            proc.join()
+        link.discard(shard_id)
         if attempt[shard_id] >= policy.max_retries:
             exhaust(shard_id, reason)
             return
@@ -467,6 +666,8 @@ def run_cluster_source(
         last_progress[shard_id] = time.perf_counter()
         if kind == "summary":
             payload, heartbeat = message[3], message[4]
+            tel.count("cluster.bytes_shipped", len(payload))
+            tel.count(f"cluster.link{shard_id}.bytes", len(payload))
             try:
                 with tel.span("stage.merge"):
                     verdicts = coordinator.add_serialized(shard_id, payload)
@@ -485,10 +686,17 @@ def run_cluster_source(
             emit(verdicts)
         elif kind == "close":
             n_records, late_records, snapshot = message[3], message[4], message[5]
-            shard_records[shard_id] = n_records
             record = health[shard_id]
             record.status = "closed"
-            record.n_records = n_records
+            if isinstance(n_records, dict):
+                # An aggregator reports per-child counts keyed by the
+                # children's global shard ids.
+                for child_id, child_records in n_records.items():
+                    shard_records[int(child_id)] = int(child_records)
+                record.n_records = int(sum(n_records.values()))
+            else:
+                shard_records[shard_id] = n_records
+                record.n_records = n_records
             coordinator.record_late(late_records)
             with tel.span("stage.merge"):
                 verdicts = coordinator.close_shard(shard_id)
@@ -503,8 +711,11 @@ def run_cluster_source(
         if policy.bin_deadline_s is None:
             return
         for shard_id in sorted(open_shards):
-            if shard_id not in conns:
+            if shard_id in restart_due:
                 continue  # awaiting restart (or already resolved)
+            # Note this covers remote TCP shards too: a worker that
+            # never connects or silently dies misses the deadline the
+            # same way a stalled local one does.
             stalled = now - last_progress.get(shard_id, now)
             if stalled > policy.bin_deadline_s:
                 fault(
@@ -514,7 +725,7 @@ def run_cluster_source(
                 )
 
     try:
-        for shard_id in range(n_shards):
+        for shard_id in range(n_units):
             spawn(shard_id)
         while open_shards:
             now = time.perf_counter()
@@ -537,11 +748,7 @@ def run_cluster_source(
                     record.gap_bins = list(
                         range(coordinator.resume_bin(shard_id), n_bins)
                     )
-                    drop_conn(shard_id)
-                    proc = procs.pop(shard_id, None)
-                    if proc is not None and proc.is_alive():
-                        proc.terminate()
-                        proc.join()
+                    link.discard(shard_id)
                     emit(coordinator.close_shard(shard_id))
                 open_shards.clear()
                 break
@@ -558,59 +765,46 @@ def run_cluster_source(
             if policy.run_deadline_s is not None:
                 remaining = policy.run_deadline_s - (now - start)
                 timeout = min(timeout, max(0.001, remaining))
-            wait_list = list(conn_shard)
-            if not wait_list:
-                time.sleep(timeout)
-                continue
             with tel.span("stage.wait"):
-                ready = mp_connection.wait(wait_list, timeout=timeout)
-            if not ready:
-                check_deadlines(time.perf_counter())
-                continue
-            for reader in ready:
-                shard_id = conn_shard.get(reader)
-                if shard_id is None:
-                    continue  # faulted earlier in this batch
-                try:
-                    message = reader.recv()
-                except EOFError:
-                    # The worker is gone and — pipes deliver in order —
-                    # everything it sent has already been handled.  A
-                    # shard still open at its EOF really did die early.
-                    drop_conn(shard_id)
-                    proc = procs.get(shard_id)
-                    if proc is not None:
-                        proc.join()
-                    if shard_id in open_shards and shard_id not in restart_due:
-                        code = proc.exitcode if proc is not None else None
+                messages = link.poll(timeout)
+            for message in messages:
+                kind = message[0]
+                if kind == "eof":
+                    # The link died and — both transports deliver in
+                    # order ahead of EOF — everything the worker sent
+                    # has already been handled.  A unit still open at
+                    # its EOF really did die early.
+                    unit_id, code = message[1], message[2]
+                    if unit_id in open_shards and unit_id not in restart_due:
                         fault(
-                            shard_id,
+                            unit_id,
                             f"worker died with exit code {code} "
                             f"before closing its stream",
                         )
-                    continue
-                handle(message)
+                elif kind == "frame_error":
+                    # Garbage on a TCP link: same supervised path as a
+                    # corrupt summary payload.
+                    unit_id = message[1]
+                    if unit_id in open_shards and unit_id not in restart_due:
+                        tel.count("resilience.corrupt_summaries")
+                        fault(unit_id, f"undecodable frame: {message[2]}")
+                else:
+                    handle(message)
             check_deadlines(time.perf_counter())
         if degraded:
             # If every shard died early the tail bins have no
             # deliveries left to trigger the coordinator's gap path;
             # pad so the report still covers the whole grid.
             emit(coordinator.pad_to(n_bins))
-        for proc in procs.values():
-            proc.join()
+        link.drain()
     finally:
-        for shard_id in list(conns):
-            drop_conn(shard_id)
-        for proc in procs.values():
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        link.shutdown()
         if writer is not None:
             writer.close()
     if degraded or total_restarts:
         engine.meta["degraded"] = degraded
         engine.meta["shard_health"] = {
-            str(s): health[s].to_meta() for s in range(n_shards)
+            str(s): health[s].to_meta() for s in range(n_units)
         }
     if preloaded_bins:
         engine.meta["resumed_bins"] = preloaded_bins
@@ -643,6 +837,11 @@ def run_cluster(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     chaos: FaultPlan | str | None = None,
+    transport: str = "pipe",
+    listen: str | tuple[str, int] | None = None,
+    tiers: str | tuple[int, int] | None = None,
+    worker_threads: int | None = None,
+    stripe: bool = False,
 ) -> ClusterResult:
     """Run the sharded pipeline on a synthetic or recorded trace.
 
@@ -677,6 +876,14 @@ def run_cluster(
         checkpoint: Closed-bin spill path for crash recovery.
         resume: Replay ``checkpoint`` before starting workers.
         chaos: Deterministic fault plan or its spec string.
+        transport: ``"pipe"`` or ``"tcp"`` (see
+            :func:`run_cluster_source`).
+        listen: ``HOST:PORT`` to await external ``repro worker``
+            processes (TCP only).
+        tiers: Aggregator layout ``"AxB"``; overrides ``n_shards``.
+        worker_threads: Kernel threads per worker (None: auto-size).
+        stripe: Row-stripe exact-mode trace workers (see
+            :func:`run_cluster_source`).
 
     Returns:
         A :class:`ClusterResult` with the merged report and throughput.
@@ -705,4 +912,9 @@ def run_cluster(
         checkpoint=checkpoint,
         resume=resume,
         chaos=chaos,
+        transport=transport,
+        listen=listen,
+        tiers=tiers,
+        worker_threads=worker_threads,
+        stripe=stripe,
     )

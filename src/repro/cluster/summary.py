@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.flows.features import N_FEATURES
 from repro.flows.sketches import CountMinSketch, entropy_from_sketch
-from repro.kernels import grouped_entropy, merge_histograms
+from repro.kernels import group_reduce, grouped_entropy, merge_histograms
 from repro.stream.window import BinAccumulator, BinSummary
 
 __all__ = ["ShardBinSummary", "SummaryCorruptError", "merge_summaries"]
@@ -228,16 +228,30 @@ class ShardBinSummary:
         merged.packets = self.packets + other.packets
         merged.bytes = self.bytes + other.bytes
         merged.n_records = self.n_records + other.n_records
+        overlap = self._features.keys() & other._features.keys()
         for od in self._features.keys() | other._features.keys():
+            if od in overlap:
+                continue
             mine, theirs = self._features.get(od), other._features.get(od)
-            if mine is None:
-                merged._features[od] = list(theirs)
-            elif theirs is None:
-                merged._features[od] = list(mine)
+            merged._features[od] = list(mine if theirs is None else theirs)
+        if overlap:
+            if self.exact:
+                # Row-partitioned shards (trace striping) overlap on
+                # every active OD; folding them per (OD, feature) costs
+                # hundreds of tiny kernel calls per bin.  Batch all
+                # overlapping histograms of one feature into a single
+                # grouped reduction instead — its sorted runs are
+                # already the canonical form, so the merged bytes are
+                # identical to the pairwise path.
+                merged._features.update(
+                    _batched_exact_merge(self._features, other._features, overlap)
+                )
             else:
-                merged._features[od] = [
-                    mine[k].merge(theirs[k]) for k in range(N_FEATURES)
-                ]
+                for od in overlap:
+                    mine, theirs = self._features[od], other._features[od]
+                    merged._features[od] = [
+                        mine[k].merge(theirs[k]) for k in range(N_FEATURES)
+                    ]
         return merged
 
     # -- scoring hand-off --------------------------------------------------
@@ -407,6 +421,42 @@ class ShardBinSummary:
             f"ShardBinSummary(bin={self.bin}, active_ods={len(self._features)}, "
             f"records={self.n_records}, {mode})"
         )
+
+
+def _batched_exact_merge(
+    a: dict[int, list], b: dict[int, list], overlap: set[int]
+) -> dict[int, list]:
+    """Merge the exact feature entries of ODs present in *both* maps.
+
+    One :func:`group_reduce` call per feature over every overlapping
+    OD's concatenated (value, count) runs, keyed by OD.  The kernel's
+    ascending (group, value) runs with positive summed counts are
+    exactly the canonical histogram form ``_ExactFeature.merge``
+    produces, so this is byte-for-byte the pairwise result.
+    """
+    ods = np.fromiter(sorted(overlap), dtype=np.int64, count=len(overlap))
+    merged: dict[int, list] = {int(od): [None] * N_FEATURES for od in ods}
+    empty = np.zeros(0, dtype=np.int64)
+    for k in range(N_FEATURES):
+        features = [side[int(od)][k] for od in ods for side in (a, b)]
+        lengths = np.fromiter(
+            (len(f.values) for f in features), dtype=np.int64, count=len(features)
+        )
+        runs = group_reduce(
+            np.repeat(np.repeat(ods, 2), lengths),
+            np.concatenate([f.values for f in features]),
+            np.concatenate([f.counts for f in features]),
+        )
+        for entry in merged.values():
+            # ODs whose histograms are empty on both sides have no rows,
+            # so the kernel omits them: pre-fill, then overwrite.
+            entry[k] = _ExactFeature(empty, empty)
+        for i, od in enumerate(runs.group_ids):
+            values, counts = runs.slice(i)
+            # Views, not copies: the runs arrays back the merged
+            # summary's histograms directly.
+            merged[int(od)][k] = _ExactFeature(values, counts)
+    return merged
 
 
 def merge_summaries(summaries) -> ShardBinSummary:

@@ -176,6 +176,10 @@ class DetectionPipeline:
         checkpoint: str | Path | None = None,
         resume: bool = False,
         chaos=None,
+        transport: str = "pipe",
+        listen=None,
+        tiers=None,
+        worker_threads: int | None = None,
     ) -> PipelineResult:
         """Run the full pipeline over a source in the chosen mode.
 
@@ -198,6 +202,14 @@ class DetectionPipeline:
             chaos: A :class:`repro.resilience.FaultPlan` or spec string
                 injecting deterministic worker faults (cluster mode
                 only; testing aid).
+            transport: ``"pipe"`` or ``"tcp"`` worker links (cluster
+                mode only; see :mod:`repro.cluster.transport`).
+            listen: ``HOST:PORT`` to await external ``repro worker``
+                processes (cluster mode, TCP only).
+            tiers: Aggregator tier layout ``"AxB"`` (cluster mode
+                only; overrides ``n_shards``).
+            worker_threads: Kernel threads per worker (cluster mode
+                only; None auto-sizes to cpus // shards).
 
         Returns:
             A :class:`PipelineResult`; exact-histogram detections are
@@ -211,6 +223,10 @@ class DetectionPipeline:
                 "checkpoint": checkpoint,
                 "chaos": chaos,
                 "resume": resume or None,
+                "listen": listen,
+                "tiers": tiers,
+                "worker_threads": worker_threads,
+                "transport": None if transport == "pipe" else transport,
             }
             given = [k for k, v in cluster_only.items() if v is not None]
             if given:
@@ -231,6 +247,10 @@ class DetectionPipeline:
                 checkpoint=checkpoint,
                 resume=resume,
                 chaos=chaos,
+                transport=transport,
+                listen=listen,
+                tiers=tiers,
+                worker_threads=worker_threads,
             )
         if mode == "batch":
             return self._run_batch(source, on_detection, meta)
@@ -302,6 +322,10 @@ class DetectionPipeline:
         checkpoint=None,
         resume=False,
         chaos=None,
+        transport="pipe",
+        listen=None,
+        tiers=None,
+        worker_threads=None,
     ) -> PipelineResult:
         from repro.cluster.runner import run_cluster_source
 
@@ -317,6 +341,10 @@ class DetectionPipeline:
             checkpoint=checkpoint,
             resume=resume,
             chaos=chaos,
+            transport=transport,
+            listen=listen,
+            tiers=tiers,
+            worker_threads=worker_threads,
         )
         return PipelineResult(
             report=result.report,

@@ -168,12 +168,25 @@ class RecordSource:
         n_shards: int,
         router,
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        stripe: bool = False,
     ) -> Iterator[tuple[FlowRecordBatch, np.ndarray | None]]:
-        """One shard's ``(chunk, ods)`` pairs of the round-robin OD split.
+        """One shard's ``(chunk, ods)`` pairs.
 
-        ``ods`` is the per-record OD attribution when the source already
-        resolved it (trace row filtering, where attribution doubles as
-        the shard filter), else None and the consumer's stage resolves.
+        By default the split is the round-robin OD partition
+        (``od % n_shards``).  ``stripe=True`` permits the source to use
+        *any* record partition instead — valid only for exact-mode
+        consumers, whose per-bin merge is canonical under arbitrary
+        partitions; sketch consumers must keep the OD split so each
+        OD's records meet a single conservative-update sketch.  Trace
+        sources honor it with contiguous per-bin row stripes (each
+        shard touches 1/N of every column instead of scanning
+        everything and masking); generative sources ignore it, since
+        materialising only the owned ODs *is* their cheap path.
+
+        ``ods`` is the per-record OD attribution when the source
+        already resolved it (trace replay, where attribution doubles
+        as the shard filter), else None and the consumer's stage
+        resolves.
         """
         raise NotImplementedError
 
@@ -225,7 +238,7 @@ class SyntheticSource(RecordSource):
         return self._rechunk(self._stream(), chunk_records)
 
     def shard_batches(self, shard_id, n_shards, router,
-                      chunk_records=DEFAULT_CHUNK_RECORDS):
+                      chunk_records=DEFAULT_CHUNK_RECORDS, stripe=False):
         ods = shard_ods(self.topology.n_od_flows, n_shards, shard_id)
         for chunk in iter_record_chunks(self._stream(ods=ods), chunk_records):
             yield chunk, None
@@ -283,7 +296,7 @@ class TraceSource(RecordSource):
         )
 
     def shard_batches(self, shard_id, n_shards, router,
-                      chunk_records=DEFAULT_CHUNK_RECORDS):
+                      chunk_records=DEFAULT_CHUNK_RECORDS, stripe=False):
         from repro.io.trace import TraceReader
 
         reader = TraceReader(self.spec.trace_path)
@@ -292,6 +305,31 @@ class TraceSource(RecordSource):
         # offset maps every yielded chunk onto the stored column and
         # the whole LPM attribution pass disappears.
         stored = reader.derived_column("od") if reader.has_derived else None
+        if stripe and n_shards > 1:
+            # Row striping (exact-mode consumers): shard s takes the
+            # s-th contiguous slice of every bin's row range, so each
+            # worker touches 1/N of every column — zero-copy views, no
+            # full-trace scan, no mask/gather — and attribution (stored
+            # or LPM) runs only over the stripe's rows.  Exact per-bin
+            # merge is canonical under any record partition, so the
+            # merged result is byte-identical to the OD split.
+            for b in range(self.spec.n_bins):
+                lo, hi = reader.bin_range(b)
+                n = hi - lo
+                begin = lo + (n * shard_id) // n_shards
+                end = lo + (n * (shard_id + 1)) // n_shards
+                for row in range(begin, end, chunk_records):
+                    stop = min(end, row + chunk_records)
+                    chunk = reader.read_rows(row, stop)
+                    if stored is not None:
+                        ods = np.asarray(stored[row:stop], dtype=np.int64)
+                    else:
+                        ods = router.resolve_ods_mixed(
+                            chunk.ingress_pop, chunk.dst_ip
+                        )
+                    if len(chunk):
+                        yield chunk, ods
+            return
         offset = reader.bin_range(0)[0] if self.spec.n_bins else 0
         for chunk in reader.iter_chunks(
             chunk_records=chunk_records, bins=range(self.spec.n_bins)
@@ -382,7 +420,7 @@ class ScenarioSource(RecordSource):
         return self._rechunk(self._stream(), chunk_records)
 
     def shard_batches(self, shard_id, n_shards, router,
-                      chunk_records=DEFAULT_CHUNK_RECORDS):
+                      chunk_records=DEFAULT_CHUNK_RECORDS, stripe=False):
         ods = shard_ods(self.topology.n_od_flows, n_shards, shard_id)
         for chunk in iter_record_chunks(self._stream(ods=ods), chunk_records):
             yield chunk, None

@@ -17,7 +17,16 @@ drop larger than the allowed fraction (default 20%):
   when no fresh ``trace_detect.json`` exists;
 * **pipeline** — stream-mode end-to-end scenario ingest of the unified
   ``DetectionPipeline`` (``pipeline.json``, the ``baseline-diurnal``
-  row).  Skipped with a note when no fresh ``pipeline.json`` exists.
+  row).  Skipped with a note when no fresh ``pipeline.json`` exists;
+* **cluster scaling** — the networked-cluster curve
+  (``cluster_net.json``): the 2-worker pipe cluster must beat the
+  1-worker run by ``--min-cluster-speedup`` when the recording host
+  had >= 2 CPUs; on a 1-core host the requirement degrades to "no
+  shared-trace inversion" (the 2-worker rate must stay above
+  ``SINGLE_CORE_CLUSTER_FLOOR`` of 1-worker — the historical
+  regression this gate pins down was 0.72x).  Skipped with a note when
+  no fresh ``cluster_net.json`` exists; ``--cluster-only`` runs just
+  this gate (for CI jobs that generate only the cluster benchmark).
 
 A fourth gate bounds the cost of the *dormant* instrumentation hooks
 (``--max-telemetry-overhead``, default 2%): benchmarks run with
@@ -59,6 +68,7 @@ FRESH_DEFAULT = RESULTS_DIR / "streaming.json"
 TRACE_FRESH_DEFAULT = RESULTS_DIR / "trace.json"
 TRACE_DETECT_FRESH_DEFAULT = RESULTS_DIR / "trace_detect.json"
 PIPELINE_FRESH_DEFAULT = RESULTS_DIR / "pipeline.json"
+CLUSTER_FRESH_DEFAULT = RESULTS_DIR / "cluster_net.json"
 BASELINE_GIT_PATH = "benchmarks/results/streaming.json"
 TRACE_BASELINE_GIT_PATH = "benchmarks/results/trace.json"
 TRACE_DETECT_BASELINE_GIT_PATH = "benchmarks/results/trace_detect.json"
@@ -71,6 +81,11 @@ DETECT_FLOOR_DEFAULT = 10_000_000.0
 #: The pipeline gate's reference row: the clean-background scenario's
 #: stream-mode ingest (the least detection-count-sensitive number).
 PIPELINE_GATE_SCENARIO = "baseline-diurnal"
+#: Minimum 2-worker/1-worker ratio on a 1-core host: two processes on
+#: one core cannot beat Amdahl, but they must not re-open the 0.72x
+#: shared-trace inversion either (disjoint OD split + stored
+#: attribution keep the measured ratio around 0.8-0.96).
+SINGLE_CORE_CLUSTER_FLOOR = 0.75
 SKIP_ENV = "REPRO_SKIP_PERF_GATE"
 
 
@@ -180,6 +195,32 @@ def _telemetry_overhead_gate(fresh: dict, baseline: dict, max_overhead: float) -
     return ok
 
 
+def _cluster_gate(fresh: dict, min_speedup: float) -> bool:
+    """Gate the networked-cluster scaling curve.
+
+    ``cluster_net.json`` records the host's CPU count alongside the
+    curve, so the gate is runner-scaled: with cores to scale onto the
+    2-worker pipe cluster must actually go faster; on a 1-core host it
+    must merely stay clear of the historical shared-trace inversion.
+    """
+    rates = fresh["records_per_sec"]
+    speedup = float(rates["pipe.2"]) / float(rates["pipe.1"])
+    cpus = int(fresh.get("cpus", 1))
+    if cpus >= 2:
+        floor, basis = min_speedup, f"{cpus}-core floor"
+    else:
+        floor, basis = SINGLE_CORE_CLUSTER_FLOOR, "1-core no-inversion floor"
+    ok = speedup >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    print(
+        f"perf gate [{verdict}]: cluster 2-worker speedup x{speedup:.2f} "
+        f"vs {basis} x{floor:.2f} "
+        f"(pipe.2 {float(rates['pipe.2']):,.0f} records/s, "
+        f"pipe.1 {float(rates['pipe.1']):,.0f})"
+    )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -251,11 +292,45 @@ def main(argv: list[str] | None = None) -> int:
         default="git:HEAD",
         help="committed pipeline baseline: 'git:HEAD' (default) or a file path",
     )
+    parser.add_argument(
+        "--cluster-fresh",
+        default=str(CLUSTER_FRESH_DEFAULT),
+        help="freshly generated cluster_net.json (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--min-cluster-speedup",
+        type=float,
+        default=1.2,
+        help="required 2-worker/1-worker cluster throughput ratio when the "
+        "recording host had >= 2 CPUs (default 1.2); 1-core hosts use the "
+        f"no-inversion floor x{SINGLE_CORE_CLUSTER_FLOOR:.2f} instead",
+    )
+    parser.add_argument(
+        "--cluster-only",
+        action="store_true",
+        help="run only the cluster-scaling gate (CI jobs that generate "
+        "just benchmarks/bench_cluster_net.py results)",
+    )
     args = parser.parse_args(argv)
 
     if os.environ.get(SKIP_ENV):
         print(f"perf gate skipped ({SKIP_ENV} set)")
         return 0
+
+    def _cluster_section() -> bool:
+        cluster_fresh_path = Path(args.cluster_fresh)
+        if not cluster_fresh_path.exists():
+            print("perf gate: no fresh cluster_net.json; cluster-scaling "
+                  "gate skipped (run benchmarks/bench_cluster_net.py to "
+                  "enable it)")
+            return True
+        return _cluster_gate(
+            json.loads(cluster_fresh_path.read_text()),
+            args.min_cluster_speedup,
+        )
+
+    if args.cluster_only:
+        return 0 if _cluster_section() else 1
 
     try:
         fresh = json.loads(Path(args.fresh).read_text())
@@ -395,6 +470,8 @@ def main(argv: list[str] | None = None) -> int:
                 .get("stream"),
                 base_stages=pipeline_base.get("stages", {}).get(row, {}).get("stream"),
             )
+
+    ok &= _cluster_section()
 
     if args.telemetry_delta:
         sections = [
